@@ -1,0 +1,313 @@
+package bmcast
+
+// The benchmark harness: one testing.B benchmark per table/figure in the
+// paper's evaluation (regenerating its rows at reduced scale and reporting
+// the headline metrics), plus micro-benchmarks of the core data paths and
+// ablations of the design choices DESIGN.md calls out.
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=BenchmarkFig7 -benchtime=1x
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/aoe"
+	"repro/internal/core"
+	"repro/internal/ethernet"
+	"repro/internal/experiments"
+	"repro/internal/guest"
+	"repro/internal/hw/disk"
+	"repro/internal/hw/nic"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/vblade"
+)
+
+// benchOpt returns reduced-scale options sized for benchmarking.
+func benchOpt() experiments.Options {
+	o := experiments.Quick()
+	o.ImageBytes = 1 << 30
+	o.DevirtImageBytes = 128 << 20
+	o.DBSeconds = 10 * sim.Second
+	o.MPIIterations = 10
+	o.RDMAIterations = 100
+	return o
+}
+
+// runFigure runs a registered experiment once per iteration.
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i + 1)
+		tables := r.Run(opt)
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure --------------------------------
+
+func BenchmarkFig4StartupTime(b *testing.B)        { runFigure(b, "fig4") }
+func BenchmarkFig5Database(b *testing.B)           { runFigure(b, "fig5") }
+func BenchmarkFig6MPI(b *testing.B)                { runFigure(b, "fig6") }
+func BenchmarkFig7Kernbench(b *testing.B)          { runFigure(b, "fig7") }
+func BenchmarkFig8Threads(b *testing.B)            { runFigure(b, "fig8") }
+func BenchmarkFig9Memory(b *testing.B)             { runFigure(b, "fig9") }
+func BenchmarkFig10StorageThroughput(b *testing.B) { runFigure(b, "fig10") }
+func BenchmarkFig11StorageLatency(b *testing.B)    { runFigure(b, "fig11") }
+func BenchmarkFig12IBThroughput(b *testing.B)      { runFigure(b, "fig12") }
+func BenchmarkFig13IBLatency(b *testing.B)         { runFigure(b, "fig13") }
+func BenchmarkFig14Moderation(b *testing.B)        { runFigure(b, "fig14") }
+
+// --- deployment macro-benchmark -------------------------------------------
+
+// BenchmarkDeployment measures a full BMcast deployment (1 GB image) from
+// power-on to de-virtualization, reporting instance-ready and bare-metal
+// times in simulated seconds.
+func BenchmarkDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := testbed.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		cfg.ImageBytes = 1 << 30
+		tb := testbed.New(cfg)
+		n := tb.AddNode(cfg)
+		bp := guest.DefaultBootProfile()
+		bp.SpanSectors = cfg.ImageBytes / 2 / disk.SectorSize
+		var ready, bare float64
+		tb.K.Spawn("deploy", func(p *sim.Proc) {
+			res, err := tb.DeployBMcast(p, n, core.DefaultConfig(), bp)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			tb.WaitBareMetal(p, n, res)
+			ready = res.GuestBooted.Sub(res.FirmwareDone).Seconds()
+			bare = res.BareMetal.Sub(res.FirmwareDone).Seconds()
+			tb.K.Stop()
+		})
+		tb.K.Run()
+		if _, err := tb.VerifyDeployment(n); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ready, "sim-s/ready")
+		b.ReportMetric(bare, "sim-s/baremetal")
+	}
+}
+
+// --- ablations -------------------------------------------------------------
+
+// BenchmarkAblationInterruptStrategy compares the paper's dummy-sector
+// restart (real hardware raises the interrupt) against virtualized
+// interrupt injection, measuring guest boot time under mediation.
+func BenchmarkAblationInterruptStrategy(b *testing.B) {
+	for _, virt := range []bool{false, true} {
+		name := "dummy-restart"
+		if virt {
+			name = "virtual-irq"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := testbed.DefaultConfig()
+				cfg.Seed = int64(i + 1)
+				cfg.ImageBytes = 256 << 20
+				tb := testbed.New(cfg)
+				n := tb.AddNode(cfg)
+				n.M.Firmware.InitTime = sim.Second
+				vcfg := core.DefaultConfig()
+				vcfg.VirtualIRQ = virt
+				bp := guest.DefaultBootProfile()
+				bp.TotalBytes = 16 << 20
+				bp.CPUTime = sim.Second
+				bp.SpanSectors = cfg.ImageBytes / 2 / disk.SectorSize
+				var boot float64
+				tb.K.Spawn("deploy", func(p *sim.Proc) {
+					res, err := tb.DeployBMcast(p, n, vcfg, bp)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					boot = res.GuestBooted.Sub(res.VMMBooted).Seconds()
+					tb.K.Stop()
+				})
+				tb.K.Run()
+				b.ReportMetric(boot, "sim-s/boot")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPollingInterval sweeps the mediator's device polling
+// interval (the paper derives it from RTT; §4.1) and reports mediated
+// boot time — too coarse wastes latency, too fine wastes CPU.
+func BenchmarkAblationPollingInterval(b *testing.B) {
+	for _, poll := range []sim.Duration{50 * sim.Microsecond, 200 * sim.Microsecond, 600 * sim.Microsecond, 2 * sim.Millisecond} {
+		b.Run(poll.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := testbed.DefaultConfig()
+				cfg.Seed = int64(i + 1)
+				cfg.ImageBytes = 256 << 20
+				tb := testbed.New(cfg)
+				n := tb.AddNode(cfg)
+				n.M.Firmware.InitTime = sim.Second
+				vcfg := core.DefaultConfig()
+				vcfg.MinPoll, vcfg.MaxPoll = poll, poll
+				bp := guest.DefaultBootProfile()
+				bp.TotalBytes = 16 << 20
+				bp.CPUTime = sim.Second
+				bp.SpanSectors = cfg.ImageBytes / 2 / disk.SectorSize
+				var boot float64
+				tb.K.Spawn("deploy", func(p *sim.Proc) {
+					res, err := tb.DeployBMcast(p, n, vcfg, bp)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					boot = res.GuestBooted.Sub(res.VMMBooted).Seconds()
+					tb.K.Stop()
+				})
+				tb.K.Run()
+				b.ReportMetric(boot, "sim-s/boot")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVbladePool reproduces the §4.2 server scaling: transfer
+// rate against worker-pool size (1 = original single-threaded vblade).
+func BenchmarkAblationVbladePool(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(strconv.Itoa(threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k := sim.New(int64(i + 1))
+				sw := ethernet.NewSwitch(k, "sw", 5*sim.Microsecond)
+				cl := nic.New(k, "cl", nic.IntelPro1000, 2, sw.Connect(ethernet.GigabitJumbo()))
+				sv := nic.New(k, "sv", nic.IntelX540, 1, sw.Connect(ethernet.GigabitJumbo()))
+				img := disk.NewSynthImage("img", 128<<20, 7)
+				srv := vblade.NewServer(k, sv, threads)
+				srv.AddTarget(0, 0, img)
+				srv.Start()
+				in := aoe.NewInitiator(k, cl, 1, 0, 0)
+				var rate float64
+				k.Spawn("client", func(p *sim.Proc) {
+					start := p.Now()
+					const total = 64 << 20
+					for lba := int64(0); lba < total/disk.SectorSize; lba += 2048 {
+						if _, err := in.Read(p, lba, 2048); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					rate = total / p.Now().Sub(start).Seconds()
+				})
+				k.Run()
+				b.ReportMetric(rate/1e6, "MB/s")
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks of the core data paths -------------------------------
+
+func BenchmarkAoEHeaderMarshal(b *testing.B) {
+	h := aoe.Header{Major: 1, Tag: 0xABCDEF, Count: 17, LBA: 1 << 30, Cmd: aoe.CmdReadDMAExt}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := aoe.Unmarshal(h.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBitmapMarkFilled(b *testing.B) {
+	bm := core.NewBitmap(64 << 20 / disk.SectorSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lba := int64(i*2048) % (bm.Sectors() - 2048)
+		bm.MarkFilled(lba, 2048)
+	}
+}
+
+func BenchmarkBitmapNextUnfilled(b *testing.B) {
+	bm := core.NewBitmap(32 << 30 / disk.SectorSize)
+	bm.MarkFilled(0, bm.Sectors()/2) // half full: realistic mid-deployment
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := bm.NextUnfilled(int64(i)%bm.Sectors(), 2048); !ok {
+			b.Fatal("bitmap unexpectedly complete")
+		}
+	}
+}
+
+func BenchmarkStoreWrite(b *testing.B) {
+	s := disk.NewStore(1 << 21)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lba := int64(i*8) % (s.Sectors() - 8)
+		s.Write(lba, 8, disk.Synth{Seed: int64(i % 7)})
+	}
+}
+
+func BenchmarkSimEventThroughput(b *testing.B) {
+	k := sim.New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(sim.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.After(sim.Microsecond, tick)
+	k.Run()
+}
+
+func BenchmarkMediatedReadRedirect(b *testing.B) {
+	// Cost of one copy-on-read redirect (4 KB), end to end through
+	// mediator, AoE, server, and local write-through.
+	cfg := testbed.DefaultConfig()
+	cfg.ImageBytes = 8 << 30
+	tb := testbed.New(cfg)
+	n := tb.AddNode(cfg)
+	n.M.Firmware.InitTime = sim.Second
+	vcfg := core.DefaultConfig()
+	vcfg.WriteInterval = sim.Hour // keep the background copy out of the way
+	bp := guest.DefaultBootProfile()
+	bp.TotalBytes = 1 << 20
+	bp.CPUTime = 100 * sim.Millisecond
+	bp.SpanSectors = 1 << 20
+	tb.K.Spawn("prep", func(p *sim.Proc) {
+		if _, err := tb.DeployBMcast(p, n, vcfg, bp); err != nil {
+			b.Error(err)
+		}
+		tb.K.Stop()
+	})
+	tb.K.Run()
+	b.ResetTimer()
+	done := false
+	tb.K.Spawn("bench", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < b.N; i++ {
+			lba := (1 << 21) + int64(i)*8%(4<<21)
+			if _, err := n.OS.ReadSectors(p, lba, 8, true); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		b.ReportMetric(p.Now().Sub(start).Seconds()*1e3/float64(b.N), "sim-ms/redirect")
+		done = true
+		tb.K.Stop()
+	})
+	for !done && tb.K.Pending() > 0 {
+		tb.K.RunUntil(tb.K.Now().Add(sim.Hour))
+	}
+}

@@ -1,0 +1,130 @@
+// Package bmcast is the public API of the BMcast reproduction: an OS
+// deployment system with a de-virtualizable VMM for bare-metal clouds,
+// after "Improving Agility and Elasticity in Bare-metal Clouds" (Omote,
+// Shinagawa, Kato — ASPLOS 2015), built on a deterministic simulation of
+// the paper's testbed.
+//
+// The three ideas the paper contributes, and where they live here:
+//
+//   - Device mediators (mediator.IDE, mediator.AHCI) perform I/O
+//     interpretation, redirection (copy-on-read), and multiplexing
+//     (background copy) against register-level controller models, letting
+//     the VMM share physical storage with an unmodified guest while the
+//     guest keeps direct hardware access.
+//   - The BMcast VMM (core.VMM) streams the OS image from an AoE server
+//     with copy-on-read plus a moderated background copy, tracked by a
+//     block bitmap with guest-write-wins consistency.
+//   - Seamless de-virtualization (core.VMM.Devirtualize) removes the
+//     mediator taps and turns nested paging off per CPU; afterwards guest
+//     I/O provably never traps.
+//
+// Quick start:
+//
+//	cfg := bmcast.DefaultConfig()
+//	tb := bmcast.NewTestbed(cfg)
+//	node := tb.AddNode(cfg)
+//	tb.K.Spawn("deploy", func(p *sim.Proc) {
+//	    res, err := tb.DeployBMcast(p, node, bmcast.DefaultVMMConfig(), bmcast.DefaultBootProfile())
+//	    ...
+//	})
+//	tb.K.Run()
+//
+// See examples/ for runnable scenarios and internal/experiments for the
+// harness regenerating every figure in the paper's evaluation.
+package bmcast
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/guest"
+	"repro/internal/report"
+	"repro/internal/testbed"
+)
+
+// Testbed is the assembled cluster: storage server, switch, IB fabric,
+// and instance machines.
+type Testbed = testbed.Testbed
+
+// Node is one instance machine with its guest OS and (once deployed) VMM.
+type Node = testbed.Node
+
+// Config configures a testbed.
+type Config = testbed.Config
+
+// VMMConfig holds the BMcast VMM's tunables (copy block size, moderation
+// parameters, polling bounds).
+type VMMConfig = core.Config
+
+// VMM is a running BMcast instance.
+type VMM = core.VMM
+
+// Phase is the deployment lifecycle state.
+type Phase = core.Phase
+
+// Deployment phases (paper §3.1).
+const (
+	PhaseInitialization   = core.PhaseInitialization
+	PhaseDeployment       = core.PhaseDeployment
+	PhaseDevirtualization = core.PhaseDevirtualization
+	PhaseBareMetal        = core.PhaseBareMetal
+)
+
+// BootProfile describes the guest OS boot's disk behaviour.
+type BootProfile = guest.BootProfile
+
+// BMcastResult summarizes one deployment's timeline.
+type BMcastResult = testbed.BMcastResult
+
+// NewTestbed builds a testbed with a storage server and no nodes.
+func NewTestbed(cfg Config) *Testbed { return testbed.New(cfg) }
+
+// DefaultConfig returns the paper's testbed setup (32 GB image, gigabit
+// Ethernet with jumbo frames, thread-pooled AoE server).
+func DefaultConfig() Config { return testbed.DefaultConfig() }
+
+// DefaultVMMConfig returns the calibrated VMM configuration.
+func DefaultVMMConfig() VMMConfig { return core.DefaultConfig() }
+
+// DefaultBootProfile returns the calibrated Ubuntu-14.04-like boot trace.
+func DefaultBootProfile() BootProfile { return guest.DefaultBootProfile() }
+
+// ExperimentOptions scales an experiment run.
+type ExperimentOptions = experiments.Options
+
+// Experiment is one registered figure runner.
+type Experiment = experiments.Runner
+
+// Table is a rendered result table.
+type Table = report.Table
+
+// Experiments lists the figure runners reproducing the paper's
+// evaluation.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// PaperScale returns full paper-scale experiment options; QuickScale
+// returns reduced-scale options for smoke runs and benchmarks.
+func PaperScale() ExperimentOptions { return experiments.Default() }
+
+// QuickScale returns reduced-scale experiment options.
+func QuickScale() ExperimentOptions { return experiments.Quick() }
+
+// Controller is the provisioning layer: a bare-metal cloud leasing
+// machines from a pool with pluggable deployment strategies.
+type Controller = cloud.Controller
+
+// Instance is one bare-metal lease.
+type Instance = cloud.Instance
+
+// Deployment strategies for Controller.Request.
+const (
+	StrategyBMcast    = cloud.StrategyBMcast
+	StrategyImageCopy = cloud.StrategyImageCopy
+	StrategyNetboot   = cloud.StrategyNetboot
+)
+
+// NewController racks poolSize machines into tb and returns the
+// provisioning controller.
+func NewController(tb *Testbed, cfg Config, poolSize int) *Controller {
+	return cloud.NewController(tb, cfg, poolSize)
+}

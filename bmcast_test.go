@@ -1,0 +1,93 @@
+package bmcast_test
+
+import (
+	"testing"
+
+	bmcast "repro"
+	"repro/internal/sim"
+)
+
+// TestPublicAPIDeployment drives the whole system through the public
+// facade only, the way a downstream user would.
+func TestPublicAPIDeployment(t *testing.T) {
+	cfg := bmcast.DefaultConfig()
+	cfg.ImageBytes = 64 << 20
+	cfg.DiskSectors = 1 << 20
+	tb := bmcast.NewTestbed(cfg)
+	node := tb.AddNode(cfg)
+	node.M.Firmware.InitTime = sim.Second
+
+	vcfg := bmcast.DefaultVMMConfig()
+	vcfg.WriteInterval = 2 * sim.Millisecond
+	bp := bmcast.DefaultBootProfile()
+	bp.TotalBytes = 8 << 20
+	bp.CPUTime = 2 * sim.Second
+	bp.SpanSectors = cfg.ImageBytes / 2 / 512
+
+	var res *bmcast.BMcastResult
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		r, err := tb.DeployBMcast(p, node, vcfg, bp)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = r
+		tb.WaitBareMetal(p, node, res)
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if res == nil || node.VMM.Phase() != bmcast.PhaseBareMetal {
+		t.Fatal("public-API deployment did not reach bare metal")
+	}
+	if _, err := tb.VerifyDeployment(node); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPICloud leases and releases instances through the facade.
+func TestPublicAPICloud(t *testing.T) {
+	cfg := bmcast.DefaultConfig()
+	cfg.ImageBytes = 64 << 20
+	cfg.DiskSectors = 1 << 20
+	tb := bmcast.NewTestbed(cfg)
+	c := bmcast.NewController(tb, cfg, 2)
+	c.BootProfile.TotalBytes = 8 << 20
+	c.BootProfile.CPUTime = sim.Second
+	c.VMMConfig.WriteInterval = 2 * sim.Millisecond
+	for _, n := range tb.Nodes {
+		n.M.Firmware.InitTime = sim.Second
+	}
+	ok := false
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		in, err := c.Request(bmcast.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ok = in.WaitReady(p)
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if !ok {
+		t.Fatal("instance did not become ready via the facade")
+	}
+}
+
+// TestExperimentRegistry lists and looks up every runner.
+func TestExperimentRegistry(t *testing.T) {
+	exps := bmcast.Experiments()
+	if len(exps) < 12 {
+		t.Fatalf("registry has %d runners, want >= 12", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("malformed runner %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate runner id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if bmcast.PaperScale().ImageBytes <= bmcast.QuickScale().ImageBytes {
+		t.Fatal("paper scale not larger than quick scale")
+	}
+}

@@ -1,0 +1,72 @@
+// Command aoebench exercises the extended AoE protocol and vblade server
+// standalone: fragmentation, retransmission under loss, and the
+// single-thread vs worker-pool scaling the paper motivates in §4.2.
+//
+// Usage:
+//
+//	aoebench [-mb N] [-loss P] [-threads "1,2,4,8"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/aoe"
+	"repro/internal/ethernet"
+	"repro/internal/hw/disk"
+	"repro/internal/hw/nic"
+	"repro/internal/sim"
+	"repro/internal/vblade"
+)
+
+func main() {
+	mb := flag.Int64("mb", 256, "megabytes to transfer")
+	loss := flag.Float64("loss", 0, "frame loss rate per hop")
+	threads := flag.String("threads", "1,2,4,8", "vblade pool sizes to sweep")
+	flag.Parse()
+
+	fmt.Printf("AoE transfer of %d MB over gigabit jumbo-frame Ethernet (loss %.1f%%/hop)\n\n",
+		*mb, *loss*100)
+	fmt.Println("threads   MB/s   retransmits")
+	for _, ts := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(ts))
+		if err != nil || n < 1 {
+			continue
+		}
+		rate, retrans := run(*mb<<20, n, *loss)
+		fmt.Printf("%7d  %6.1f  %11d\n", n, rate/1e6, retrans)
+	}
+}
+
+func run(bytes int64, threads int, loss float64) (rate float64, retrans int64) {
+	k := sim.New(1)
+	sw := ethernet.NewSwitch(k, "sw", 5*sim.Microsecond)
+	params := ethernet.GigabitJumbo()
+	params.LossRate = loss
+	clLink := sw.Connect(params)
+	svLink := sw.Connect(params)
+	client := nic.New(k, "cl0", nic.IntelPro1000, 2, clLink)
+	server := nic.New(k, "sv0", nic.IntelX540, 1, svLink)
+
+	img := disk.NewSynthImage("bench", bytes+(64<<20), 7)
+	srv := vblade.NewServer(k, server, threads)
+	srv.AddTarget(0, 0, img)
+	srv.Start()
+	in := aoe.NewInitiator(k, client, 1, 0, 0)
+
+	var elapsed sim.Duration
+	k.Spawn("client", func(p *sim.Proc) {
+		start := p.Now()
+		const chunk = 2048 // 1 MB requests
+		for lba := int64(0); lba < bytes/disk.SectorSize; lba += chunk {
+			if _, err := in.Read(p, lba, chunk); err != nil {
+				panic(err)
+			}
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	k.Run()
+	return float64(bytes) / elapsed.Seconds(), in.Retransmits.Value()
+}

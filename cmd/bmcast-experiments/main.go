@@ -1,0 +1,73 @@
+// Command bmcast-experiments regenerates the paper's evaluation tables
+// and figures (§5) from the simulation models.
+//
+// Usage:
+//
+//	bmcast-experiments [-fig N[,N...]] [-quick] [-markdown] [-seed S]
+//
+// Without -fig every figure runs in order. -quick uses reduced scale
+// (smaller image, shorter measurement windows) for fast smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "comma-separated figure ids (e.g. 4,7,13); empty = all")
+	quick := flag.Bool("quick", false, "reduced-scale run")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-6s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	opt.Seed = *seed
+
+	var runners []experiments.Runner
+	if *fig == "" {
+		runners = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			if _, numeric := experiments.Lookup("fig" + id); numeric {
+				id = "fig" + id
+			}
+			r, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		tables := r.Run(opt)
+		for _, t := range tables {
+			if *markdown {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t)
+			}
+		}
+		fmt.Printf("[%s completed in %.1fs wall clock]\n\n", r.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,79 @@
+// Cluster scenario (paper §5.3): bring up a 10-node cluster with BMcast
+// and compare against image-copy provisioning, then run MPI collectives
+// across the freshly deployed nodes over InfiniBand.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+const nodes = 10
+
+func main() {
+	cfg := testbed.DefaultConfig()
+	cfg.ImageBytes = 1 << 30
+	bp := guest.DefaultBootProfile()
+	bp.TotalBytes = 16 << 20
+	bp.CPUTime = 2 * sim.Second
+	bp.SpanSectors = cfg.ImageBytes / 2 / 512
+
+	// --- BMcast: all ten instances start in parallel; the shared server
+	// and switch carry the load.
+	tb := testbed.New(cfg)
+	var ms []*machine.Machine
+	ready := 0
+	readySig := tb.K.NewSignal("ready")
+	for i := 0; i < nodes; i++ {
+		n := tb.AddNode(cfg)
+		ms = append(ms, n.M)
+		tb.K.Spawn("deploy", func(p *sim.Proc) {
+			if _, err := tb.DeployBMcast(p, n, core.DefaultConfig(), bp); err != nil {
+				panic(err)
+			}
+			ready++
+			readySig.Broadcast()
+		})
+	}
+	tb.K.Spawn("driver", func(p *sim.Proc) {
+		p.WaitCond(readySig, func() bool { return ready == nodes })
+		fmt.Printf("BMcast: all %d instances serving at t=%.0fs (firmware included)\n",
+			nodes, p.Now().Seconds())
+
+		cl, err := workload.NewMPICluster(tb.K, ms)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("\nMPI collectives across the fresh cluster (64 KB messages):")
+		for _, c := range workload.AllCollectives() {
+			lat := cl.Latency(p, c, 64<<10, 50)
+			fmt.Printf("  %-10s %8.1f µs\n", c, lat.Microseconds())
+		}
+		tb.K.Stop()
+	})
+	tb.K.Run()
+
+	// --- Image copy on one node, for contrast.
+	tb2 := testbed.New(cfg)
+	n2 := tb2.AddNode(cfg)
+	rs := baseline.NewRemoteStore(tb2.K, "srv", baseline.ISCSI, tb2.Image)
+	tb2.K.Spawn("copy", func(p *sim.Proc) {
+		res, err := baseline.DeployImageCopy(p, n2.M, n2.OS, baseline.DefaultImageCopyConfig(), rs, bp)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nImage copy: one instance serving at t=%.0fs — and ten would contend for the server\n",
+			res.GuestBootedAt.Seconds())
+		tb2.K.Stop()
+	})
+	tb2.K.Run()
+}

@@ -1,0 +1,76 @@
+// Moderation scenario (paper §5.6 / Figure 14): sweep the VMM's
+// background-copy write interval and print the trade-off between guest
+// storage throughput and copy speed.
+//
+// Run with: go run ./examples/moderation
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func main() {
+	intervals := []sim.Duration{
+		sim.Second, 100 * sim.Millisecond, 10 * sim.Millisecond,
+		sim.Millisecond, 0, // 0 = full speed
+	}
+	fmt.Println("interval      guest-read MB/s   vmm-write MB/s")
+	for _, iv := range intervals {
+		g, v := point(iv)
+		label := iv.String()
+		if iv == 0 {
+			label = "full-speed"
+		}
+		fmt.Printf("%-12s  %15.1f   %14.1f\n", label, g/1e6, v/1e6)
+	}
+	fmt.Println("\nslower intervals favor the guest; faster ones finish deployment sooner —")
+	fmt.Println("the moderation parameters (threshold, write/suspend intervals) pick the balance.")
+}
+
+func point(interval sim.Duration) (guestRate, vmmRate float64) {
+	cfg := testbed.DefaultConfig()
+	cfg.ImageBytes = 8 << 30
+	tb := testbed.New(cfg)
+	n := tb.AddNode(cfg)
+	n.M.Firmware.InitTime = sim.Second
+
+	vcfg := core.DefaultConfig()
+	vcfg.WriteInterval = interval
+	vcfg.GuestIOFreqThreshold = 1e12 // measure the interval alone
+
+	bp := guest.DefaultBootProfile()
+	bp.TotalBytes = 8 << 20
+	bp.CPUTime = sim.Second
+	bp.SpanSectors = cfg.ImageBytes / 2 / 512
+
+	done := false
+	tb.K.Spawn("sweep", func(p *sim.Proc) {
+		if _, err := tb.DeployBMcast(p, n, vcfg, bp); err != nil {
+			panic(err)
+		}
+		const fileLBA = 5 << 21 // 5 GB in
+		if _, err := workload.Fio(p, n.OS, true, 100<<20, 1<<20, fileLBA); err != nil {
+			panic(err)
+		}
+		before := n.VMM.CopiedBytes.Value()
+		start := p.Now()
+		res, err := workload.Fio(p, n.OS, false, 100<<20, 1<<20, fileLBA)
+		if err != nil {
+			panic(err)
+		}
+		guestRate = res.Throughput
+		vmmRate = float64(n.VMM.CopiedBytes.Value()-before) / p.Now().Sub(start).Seconds()
+		done = true
+		tb.K.Stop()
+	})
+	for !done && tb.K.Pending() > 0 {
+		tb.K.RunUntil(tb.K.Now().Add(sim.Hour))
+	}
+	return guestRate, vmmRate
+}

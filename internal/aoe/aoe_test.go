@@ -1,0 +1,145 @@
+package aoe
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw/disk"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Flags:     FlagResponse,
+		Error:     3,
+		Major:     0x1234,
+		Minor:     7,
+		Tag:       0xDEADBEEF,
+		AFlags:    AFlagWrite | AFlagLBA48,
+		Feature:   0x55,
+		Count:     2048,
+		Cmd:       CmdWriteDMAExt,
+		LBA:       0x123456789AB,
+		FragTotal: 128,
+	}
+	got, err := Unmarshal(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(flags, errc, minor, aflags, feature, cmd uint8, major, count, fragTotal uint16, tag uint32, lba uint64) bool {
+		h := Header{
+			Flags: flags & 0x0F, Error: errc, Major: major, Minor: minor,
+			Tag: tag, AFlags: aflags, Feature: feature, Count: count,
+			Cmd: cmd, LBA: lba & 0xFFFFFFFFFFFF, FragTotal: fragTotal,
+		}
+		got, err := Unmarshal(h.Marshal())
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	b := (&Header{}).Marshal()
+	b[0] = 0x20 // version 2
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestTagPacking(t *testing.T) {
+	tag := MakeTag(12345, 678)
+	id, frag := SplitTag(tag)
+	if id != 12345 || frag != 678 {
+		t.Fatalf("SplitTag = %d,%d", id, frag)
+	}
+}
+
+func TestTagPackingProperty(t *testing.T) {
+	f := func(id uint32, frag uint16) bool {
+		id %= 1 << 20
+		fi := int(frag) % MaxFragments
+		gid, gfrag := SplitTag(MakeTag(id, fi))
+		return gid == id && gfrag == fi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeTagRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized fragment index accepted")
+		}
+	}()
+	MakeTag(1, MaxFragments)
+}
+
+func TestSectorsPerFrame(t *testing.T) {
+	if got := SectorsPerFrame(9018); got != 17 {
+		t.Fatalf("jumbo SectorsPerFrame = %d, want 17", got)
+	}
+	if got := SectorsPerFrame(1518); got != 2 {
+		t.Fatalf("standard SectorsPerFrame = %d, want 2", got)
+	}
+}
+
+func TestFragments(t *testing.T) {
+	if got := Fragments(2048, 17); got != 121 {
+		t.Fatalf("Fragments(2048,17) = %d, want 121", got)
+	}
+	if got := Fragments(17, 17); got != 1 {
+		t.Fatalf("Fragments(17,17) = %d, want 1", got)
+	}
+	if got := Fragments(18, 17); got != 2 {
+		t.Fatalf("Fragments(18,17) = %d, want 2", got)
+	}
+}
+
+func TestMessageWireSize(t *testing.T) {
+	readReq := &Message{Header: Header{Count: 17, Cmd: CmdReadDMAExt, AFlags: AFlagLBA48}}
+	if readReq.WireSize() != HeaderSize {
+		t.Fatal("read request should carry no data")
+	}
+	readResp := &Message{Header: Header{Count: 17, Flags: FlagResponse}}
+	if readResp.WireSize() != HeaderSize+17*disk.SectorSize {
+		t.Fatal("read response should carry sectors")
+	}
+	writeReq := &Message{Header: Header{Count: 17, AFlags: AFlagWrite}}
+	if writeReq.WireSize() != HeaderSize+17*disk.SectorSize {
+		t.Fatal("write request should carry sectors")
+	}
+	writeResp := &Message{Header: Header{Count: 17, AFlags: AFlagWrite, Flags: FlagResponse}}
+	if writeResp.WireSize() != HeaderSize {
+		t.Fatal("write ack should carry no data")
+	}
+	errResp := &Message{Header: Header{Count: 17, Flags: FlagResponse | FlagError}}
+	if errResp.WireSize() != HeaderSize {
+		t.Fatal("error response should carry no data")
+	}
+}
+
+// TestInitiatorHeaderFieldsFromRegisters checks the paper's core argument
+// for AoE: the header fields are the ATA register values, so conversion
+// from an intercepted command is mechanical.
+func TestInitiatorHeaderFieldsFromRegisters(t *testing.T) {
+	h := Header{AFlags: AFlagLBA48, Count: 17, Cmd: CmdReadDMAExt, LBA: 0xABCDEF}
+	b := h.Marshal()
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LBA != 0xABCDEF || got.Count != 17 || got.Cmd != CmdReadDMAExt {
+		t.Fatal("register fields did not survive the wire")
+	}
+}

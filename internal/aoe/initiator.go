@@ -1,0 +1,292 @@
+package aoe
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/hw/disk"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Transport is the link the initiator speaks through: a dedicated NIC in
+// the paper's chosen configuration, or the shared-NIC mediator's
+// interleaved path in the §6 alternative.
+type Transport interface {
+	Send(f *ethernet.Frame)
+	MTU() int64
+	SetOnReceive(fn func(*ethernet.Frame))
+	TryRecv() (*ethernet.Frame, bool)
+}
+
+// Initiator is the client side of the extended AoE protocol: it converts
+// sector ranges into per-fragment requests, reassembles responses, and
+// retransmits fragments lost on the wire. BMcast's VMM embeds one; the
+// image-copy installer uses one too.
+type Initiator struct {
+	k      *sim.Kernel
+	nic    Transport
+	Server ethernet.MAC
+	Major  uint16
+	Minor  uint8
+
+	perFrame int64
+	nextReq  uint32
+	pending  map[uint32]*pendingReq
+
+	// RTO management: exponentially weighted RTT estimate; the timeout
+	// fires only after no fragment progress for the current RTO.
+	rtt sim.Duration
+
+	// MaxRetries bounds retransmission rounds per request before failing.
+	MaxRetries int
+
+	closed bool
+
+	Requests       metrics.Counter
+	FragmentsSent  metrics.Counter
+	FragmentsRecvd metrics.Counter
+	Retransmits    metrics.Counter
+	BytesRead      metrics.Counter
+	BytesWritten   metrics.Counter
+}
+
+type pendingReq struct {
+	lba, count int64
+	frags      int
+	got        []bool
+	gotCount   int
+	parts      []disk.Payload
+	write      bool
+	src        disk.SectorSource // write data source
+	progress   *sim.Signal
+	err        error
+	sentAt     []sim.Time
+}
+
+// NewInitiator returns an initiator speaking through n to the target with
+// the given MAC and shelf/slot address. Frames are delivered immediately
+// (interrupt-style); see SetPolled for the VMM's polled-driver mode.
+func NewInitiator(k *sim.Kernel, n Transport, server ethernet.MAC, major uint16, minor uint8) *Initiator {
+	in := &Initiator{
+		k:          k,
+		nic:        n,
+		Server:     server,
+		Major:      major,
+		Minor:      minor,
+		perFrame:   SectorsPerFrame(n.MTU()),
+		pending:    make(map[uint32]*pendingReq),
+		rtt:        2 * sim.Millisecond, // conservative initial estimate
+		MaxRetries: 16,
+	}
+	n.SetOnReceive(in.handleFrame)
+	return in
+}
+
+// SetPolled switches the initiator to the VMM's polled receive mode: the
+// paper's dedicated-NIC drivers (§4.3) have no interrupt path, so arrived
+// frames wait in the rx ring until the polling thread's next tick.
+// interval returns the current poll interval (the VMM derives it from the
+// RTT estimate, §4.1).
+func (in *Initiator) SetPolled(interval func() sim.Duration) {
+	in.nic.SetOnReceive(nil) // frames queue on the NIC
+	var poll func()
+	poll = func() {
+		if in.closed {
+			return
+		}
+		for {
+			f, ok := in.nic.TryRecv()
+			if !ok {
+				break
+			}
+			in.handleFrame(f)
+		}
+		in.k.After(interval(), poll)
+	}
+	in.k.After(interval(), poll)
+}
+
+// Close shuts the initiator down: the polling loop (if any) stops at its
+// next tick and late frames are ignored. The de-virtualizing VMM calls
+// this when it disappears.
+func (in *Initiator) Close() {
+	in.closed = true
+	in.nic.SetOnReceive(nil)
+}
+
+// RTT reports the smoothed round-trip time estimate; the VMM uses it to
+// pick device polling intervals (paper §4.1).
+func (in *Initiator) RTT() sim.Duration { return in.rtt }
+
+// SectorsPerFragment reports the per-fragment payload capacity.
+func (in *Initiator) SectorsPerFragment() int64 { return in.perFrame }
+
+func (in *Initiator) handleFrame(f *ethernet.Frame) {
+	msg, ok := f.Payload.(*Message)
+	if !ok || f.EtherType != EtherType || !msg.IsResponse() {
+		return
+	}
+	reqID, frag := SplitTag(msg.Tag)
+	pr, ok := in.pending[reqID]
+	if !ok || frag >= pr.frags || pr.got[frag] {
+		return // duplicate or stale response
+	}
+	if msg.Flags&FlagError != 0 {
+		pr.err = fmt.Errorf("aoe: target error %#x for request %d", msg.Error, reqID)
+		pr.progress.Broadcast()
+		return
+	}
+	pr.got[frag] = true
+	pr.gotCount++
+	in.FragmentsRecvd.Inc()
+	if !pr.write {
+		pr.parts[frag] = msg.Payload
+	}
+	if t := pr.sentAt[frag]; t > 0 {
+		sample := in.k.Now().Sub(t)
+		in.rtt = (in.rtt*7 + sample) / 8
+	}
+	pr.progress.Broadcast()
+}
+
+func (in *Initiator) fragRange(pr *pendingReq, frag int) (lba, count int64) {
+	lba = pr.lba + int64(frag)*in.perFrame
+	count = in.perFrame
+	if rem := pr.lba + pr.count - lba; rem < count {
+		count = rem
+	}
+	return lba, count
+}
+
+func (in *Initiator) sendFragment(pr *pendingReq, reqID uint32, frag int) {
+	lba, count := in.fragRange(pr, frag)
+	msg := &Message{Header: Header{
+		Major:     in.Major,
+		Minor:     in.Minor,
+		Tag:       MakeTag(reqID, frag),
+		Count:     uint16(count),
+		LBA:       uint64(lba),
+		FragTotal: uint16(pr.frags),
+	}}
+	if pr.write {
+		msg.AFlags = AFlagWrite | AFlagLBA48
+		msg.Cmd = CmdWriteDMAExt
+		msg.Payload = disk.Payload{LBA: lba, Count: count, Source: pr.src}
+	} else {
+		msg.AFlags = AFlagLBA48
+		msg.Cmd = CmdReadDMAExt
+	}
+	pr.sentAt[frag] = in.k.Now()
+	in.FragmentsSent.Inc()
+	in.nic.Send(&ethernet.Frame{
+		Dst:       in.Server,
+		EtherType: EtherType,
+		Payload:   msg,
+		Size:      ethernet.HeaderSize + msg.WireSize(),
+	})
+}
+
+// run executes a request to completion with retransmission, blocking the
+// calling process.
+func (in *Initiator) run(p *sim.Proc, pr *pendingReq) error {
+	reqID := in.nextReq
+	in.nextReq = (in.nextReq + 1) % (1 << (32 - tagFragBits))
+	in.pending[reqID] = pr
+	defer delete(in.pending, reqID)
+	in.Requests.Inc()
+
+	for f := 0; f < pr.frags; f++ {
+		in.sendFragment(pr, reqID, f)
+	}
+	retries := 0
+	for pr.gotCount < pr.frags && pr.err == nil {
+		// Wait for progress; time out after 4×RTT of silence, doubling
+		// per retry round (exponential backoff keeps a loaded server
+		// from melting down under retransmit storms).
+		rto := 4 * in.rtt << uint(retries)
+		if min := 2 * sim.Millisecond; rto < min {
+			rto = min
+		}
+		if max := 2 * sim.Second; rto > max {
+			rto = max
+		}
+		if p.WaitTimeout(pr.progress, rto) {
+			continue // a fragment (or an error) arrived
+		}
+		retries++
+		if retries > in.MaxRetries {
+			return fmt.Errorf("aoe: request %d timed out after %d retries (%d/%d fragments)",
+				reqID, in.MaxRetries, pr.gotCount, pr.frags)
+		}
+		for f := 0; f < pr.frags; f++ {
+			if !pr.got[f] {
+				in.Retransmits.Inc()
+				in.sendFragment(pr, reqID, f)
+			}
+		}
+	}
+	return pr.err
+}
+
+// Read fetches count sectors at lba from the target, blocking the process.
+func (in *Initiator) Read(p *sim.Proc, lba, count int64) (disk.Payload, error) {
+	if count <= 0 {
+		return disk.Payload{}, fmt.Errorf("aoe: non-positive read count %d", count)
+	}
+	frags := Fragments(count, in.perFrame)
+	pr := &pendingReq{
+		lba: lba, count: count, frags: frags,
+		got:      make([]bool, frags),
+		parts:    make([]disk.Payload, frags),
+		sentAt:   make([]sim.Time, frags),
+		progress: in.k.NewSignal("aoe.read"),
+	}
+	if err := in.run(p, pr); err != nil {
+		return disk.Payload{}, err
+	}
+	in.BytesRead.Add(count * disk.SectorSize)
+	return in.assemble(pr), nil
+}
+
+// assemble merges fragment payloads into one. Fragments sharing one source
+// stay symbolic; mixed sources are materialized.
+func (in *Initiator) assemble(pr *pendingReq) disk.Payload {
+	uniform := true
+	for _, part := range pr.parts {
+		if part.Source != pr.parts[0].Source {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return disk.Payload{LBA: pr.lba, Count: pr.count, Source: pr.parts[0].Source}
+	}
+	buf := make([]byte, pr.count*disk.SectorSize)
+	for f, part := range pr.parts {
+		lba, _ := in.fragRange(pr, f)
+		off := (lba - pr.lba) * disk.SectorSize
+		copy(buf[off:], part.Bytes())
+	}
+	return disk.Payload{LBA: pr.lba, Count: pr.count, Source: disk.NewBuffer(pr.lba, buf, "aoe-read")}
+}
+
+// Write stores the payload's sectors on the target, blocking the process.
+func (in *Initiator) Write(p *sim.Proc, payload disk.Payload) error {
+	if payload.Count <= 0 {
+		return fmt.Errorf("aoe: non-positive write count %d", payload.Count)
+	}
+	frags := Fragments(payload.Count, in.perFrame)
+	pr := &pendingReq{
+		lba: payload.LBA, count: payload.Count, frags: frags,
+		write: true, src: payload.Source,
+		got:      make([]bool, frags),
+		sentAt:   make([]sim.Time, frags),
+		progress: in.k.NewSignal("aoe.write"),
+	}
+	if err := in.run(p, pr); err != nil {
+		return err
+	}
+	in.BytesWritten.Add(payload.Count * disk.SectorSize)
+	return nil
+}

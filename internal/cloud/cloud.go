@@ -1,0 +1,225 @@
+// Package cloud is the provisioning layer the paper motivates: a
+// bare-metal cloud controller that leases physical machines on demand.
+// It manages a rack of powered-off machines and provisions instances with
+// a pluggable deployment strategy, so the agility/elasticity comparison
+// (§1, §5.1) can be driven as a workload: request N instances, watch
+// time-to-ready, release, re-provision.
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/hw/disk"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// Strategy selects how an instance's OS is deployed.
+type Strategy int
+
+// Deployment strategies.
+const (
+	StrategyBMcast Strategy = iota
+	StrategyImageCopy
+	StrategyNetboot
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBMcast:
+		return "bmcast"
+	case StrategyImageCopy:
+		return "image-copy"
+	default:
+		return "netboot"
+	}
+}
+
+// InstanceState is the lifecycle of a lease.
+type InstanceState int
+
+// Instance lifecycle states.
+const (
+	StateRequested InstanceState = iota
+	StateDeploying
+	StateReady
+	StateFailed
+	StateReleased
+)
+
+func (s InstanceState) String() string {
+	return [...]string{"requested", "deploying", "ready", "failed", "released"}[s]
+}
+
+// Instance is one bare-metal lease.
+type Instance struct {
+	ID       int
+	Strategy Strategy
+	Node     *testbed.Node
+
+	state   InstanceState
+	changed *sim.Signal
+	err     error
+
+	RequestedAt sim.Time
+	ReadyAt     sim.Time
+	// BareMetalAt is when the VMM disappeared (BMcast only).
+	BareMetalAt sim.Time
+}
+
+// State reports the current lifecycle state.
+func (in *Instance) State() InstanceState { return in.state }
+
+// Err reports the deployment error for a failed instance.
+func (in *Instance) Err() error { return in.err }
+
+// TimeToReady is the request-to-usable latency — the paper's agility
+// metric.
+func (in *Instance) TimeToReady() sim.Duration { return in.ReadyAt.Sub(in.RequestedAt) }
+
+// WaitReady blocks until the instance is usable (or failed), reporting
+// success.
+func (in *Instance) WaitReady(p *sim.Proc) bool {
+	p.WaitCond(in.changed, func() bool { return in.state == StateReady || in.state == StateFailed })
+	return in.state == StateReady
+}
+
+// Controller provisions instances from a machine pool.
+type Controller struct {
+	tb   *testbed.Testbed
+	tcfg testbed.Config
+
+	VMMConfig   core.Config
+	BootProfile guest.BootProfile
+	// Remote backs the image-copy and netboot strategies.
+	Remote *baseline.RemoteStore
+
+	free      []*testbed.Node
+	instances []*Instance
+
+	Requested  metrics.Counter
+	Ready      metrics.Counter
+	Failures   metrics.Counter
+	TimeToUse  metrics.Histogram
+	nextID     int
+	poolEmpty  int64
+	freeSignal *sim.Signal
+}
+
+// NewController racks poolSize machines into tb.
+func NewController(tb *testbed.Testbed, tcfg testbed.Config, poolSize int) *Controller {
+	c := &Controller{
+		tb:          tb,
+		tcfg:        tcfg,
+		VMMConfig:   core.DefaultConfig(),
+		BootProfile: guest.DefaultBootProfile(),
+		Remote:      baseline.NewRemoteStore(tb.K, "cloud-store", baseline.ISCSI, tb.Image),
+		freeSignal:  tb.K.NewSignal("cloud.free"),
+	}
+	c.BootProfile.SpanSectors = tcfg.ImageBytes / 2 / disk.SectorSize
+	for i := 0; i < poolSize; i++ {
+		c.free = append(c.free, tb.AddNode(tcfg))
+	}
+	return c
+}
+
+// FreeMachines reports the machines currently unleased.
+func (c *Controller) FreeMachines() int { return len(c.free) }
+
+// Instances returns all leases, live and released.
+func (c *Controller) Instances() []*Instance {
+	out := make([]*Instance, len(c.instances))
+	copy(out, c.instances)
+	return out
+}
+
+// Request leases a machine and starts deployment with the given strategy.
+// It returns immediately; use WaitReady on the instance. It fails fast
+// when the pool is empty.
+func (c *Controller) Request(strategy Strategy) (*Instance, error) {
+	if len(c.free) == 0 {
+		c.poolEmpty++
+		return nil, fmt.Errorf("cloud: machine pool exhausted")
+	}
+	node := c.free[0]
+	c.free = c.free[1:]
+	in := &Instance{
+		ID:          c.nextID,
+		Strategy:    strategy,
+		Node:        node,
+		state:       StateRequested,
+		changed:     c.tb.K.NewSignal("cloud.instance"),
+		RequestedAt: c.tb.K.Now(),
+	}
+	c.nextID++
+	c.instances = append(c.instances, in)
+	c.Requested.Inc()
+	c.tb.K.Spawn(fmt.Sprintf("cloud.deploy.%d", in.ID), func(p *sim.Proc) { c.deploy(p, in) })
+	return in, nil
+}
+
+func (c *Controller) deploy(p *sim.Proc, in *Instance) {
+	in.state = StateDeploying
+	in.changed.Broadcast()
+	var err error
+	switch in.Strategy {
+	case StrategyBMcast:
+		var res *testbed.BMcastResult
+		res, err = c.tb.DeployBMcast(p, in.Node, c.VMMConfig, c.BootProfile)
+		if err == nil {
+			c.markReady(p, in)
+			// The instance is already leased out; the copy finishes in
+			// the background and the VMM melts away.
+			c.tb.WaitBareMetal(p, in.Node, res)
+			in.BareMetalAt = p.Now()
+			return
+		}
+	case StrategyImageCopy:
+		_, err = baseline.DeployImageCopy(p, in.Node.M, in.Node.OS,
+			baseline.DefaultImageCopyConfig(), c.Remote, c.BootProfile)
+		if err == nil {
+			c.markReady(p, in)
+			return
+		}
+	case StrategyNetboot:
+		err = baseline.BootNetboot(p, in.Node.M, in.Node.OS, c.Remote, c.BootProfile)
+		if err == nil {
+			c.markReady(p, in)
+			return
+		}
+	}
+	in.err = err
+	in.state = StateFailed
+	c.Failures.Inc()
+	in.changed.Broadcast()
+}
+
+func (c *Controller) markReady(p *sim.Proc, in *Instance) {
+	in.ReadyAt = p.Now()
+	in.state = StateReady
+	c.Ready.Inc()
+	c.TimeToUse.Observe(in.TimeToReady())
+	in.changed.Broadcast()
+}
+
+// Release ends a lease: the disk is wiped (a fresh zero store, as a
+// provider would sanitize between tenants) and the machine returns to the
+// pool.
+func (c *Controller) Release(in *Instance) error {
+	if in.state != StateReady {
+		return fmt.Errorf("cloud: instance %d is %v, not ready", in.ID, in.state)
+	}
+	in.state = StateReleased
+	in.changed.Broadcast()
+	// Sanitize: all blocks return to zero; a future lease re-deploys.
+	in.Node.M.Disk.Store().Write(0, in.Node.M.Disk.Sectors, disk.Zero)
+	in.Node.VMM = nil
+	in.Node.OS = guest.NewOS("ubuntu", in.Node.M)
+	c.free = append(c.free, in.Node)
+	c.freeSignal.Broadcast()
+	return nil
+}

@@ -1,0 +1,156 @@
+package cloud_test
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+func testController(poolSize int) (*testbed.Testbed, *cloud.Controller) {
+	tcfg := testbed.DefaultConfig()
+	tcfg.ImageBytes = 64 << 20
+	tcfg.DiskSectors = 1 << 20
+	tb := testbed.New(tcfg)
+	c := cloud.NewController(tb, tcfg, poolSize)
+	c.BootProfile.TotalBytes = 8 << 20
+	c.BootProfile.CPUTime = 2 * sim.Second
+	c.VMMConfig.WriteInterval = 2 * sim.Millisecond
+	for _, n := range tb.Nodes {
+		n.M.Firmware.InitTime = 2 * sim.Second
+	}
+	return tb, c
+}
+
+func TestRequestAndReady(t *testing.T) {
+	tb, c := testController(2)
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		in, err := c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !in.WaitReady(p) {
+			t.Errorf("instance failed: %v", in.Err())
+			return
+		}
+		if in.TimeToReady() <= 0 {
+			t.Error("TimeToReady not recorded")
+		}
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if c.Ready.Value() != 1 || c.FreeMachines() != 1 {
+		t.Fatalf("ready=%d free=%d", c.Ready.Value(), c.FreeMachines())
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	tb, c := testController(1)
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		if _, err := c.Request(cloud.StrategyBMcast); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Request(cloud.StrategyBMcast); err == nil {
+			t.Error("second request on a one-machine pool succeeded")
+		}
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+}
+
+func TestReleaseSanitizesAndReuses(t *testing.T) {
+	tb, c := testController(1)
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		in, err := c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !in.WaitReady(p) {
+			t.Errorf("first lease failed: %v", in.Err())
+			return
+		}
+		// Wait for the background copy to finish before release, so the
+		// machine is quiescent.
+		in.Node.VMM.WaitPhase(p, 3)
+		if err := c.Release(in); err != nil {
+			t.Error(err)
+			return
+		}
+		// The disk must hold no tenant data.
+		if got := in.Node.M.Disk.Store().CountBySource()["zero"]; got != in.Node.M.Disk.Sectors {
+			t.Errorf("disk not sanitized: %d of %d zero", got, in.Node.M.Disk.Sectors)
+			return
+		}
+		// Lease again: a fresh deployment must work on the wiped machine.
+		in2, err := c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !in2.WaitReady(p) {
+			t.Errorf("re-lease failed: %v", in2.Err())
+		}
+	})
+	tb.K.RunUntil(sim.Time(2 * sim.Hour))
+	if c.Ready.Value() != 2 {
+		t.Fatalf("Ready = %d, want 2", c.Ready.Value())
+	}
+}
+
+func TestReleaseRequiresReady(t *testing.T) {
+	tb, c := testController(1)
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		in, err := c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Release(in); err == nil {
+			t.Error("released a still-deploying instance")
+		}
+		in.WaitReady(p)
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+}
+
+// TestScaleUpBMcastVsImageCopy is the elasticity claim (§5.1): starting
+// several instances at once, BMcast's per-instance time-to-ready stays
+// near the single-instance value (it moves only ~90 MB per boot), while
+// image copy serializes behind the shared server link.
+func TestScaleUpBMcastVsImageCopy(t *testing.T) {
+	const fleet = 4
+	run := func(s cloud.Strategy) (worst sim.Duration) {
+		tb, c := testController(fleet)
+		done := 0
+		for i := 0; i < fleet; i++ {
+			tb.K.Spawn("tenant", func(p *sim.Proc) {
+				in, err := c.Request(s)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !in.WaitReady(p) {
+					t.Errorf("%v instance failed: %v", s, in.Err())
+					return
+				}
+				if d := in.TimeToReady(); d > worst {
+					worst = d
+				}
+				done++
+			})
+		}
+		tb.K.RunUntil(sim.Time(4 * sim.Hour))
+		if done != fleet {
+			t.Fatalf("%v: only %d of %d instances became ready", s, done, fleet)
+		}
+		return worst
+	}
+	bmcast := run(cloud.StrategyBMcast)
+	imageCopy := run(cloud.StrategyImageCopy)
+	if bmcast >= imageCopy {
+		t.Fatalf("BMcast fleet worst-case %v not better than image copy %v", bmcast, imageCopy)
+	}
+	t.Logf("worst time-to-ready for %d instances: bmcast=%v image-copy=%v", fleet, bmcast, imageCopy)
+}

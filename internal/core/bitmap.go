@@ -1,0 +1,197 @@
+// Package core implements the BMcast VMM: the four-phase deployment
+// lifecycle (initialization, deployment, de-virtualization, bare-metal),
+// copy-on-read and background copy over the device mediators, the block
+// bitmap with its consistency guarantees, copy-speed moderation, and
+// seamless de-virtualization (paper §3).
+package core
+
+import "fmt"
+
+// Bitmap tracks, per sector, whether the local disk already holds valid
+// data (filled by the background copy, copy-on-read, or a guest write).
+// The paper stores one bit per disk block and checks it atomically to
+// keep the VMM from overwriting guest-written blocks (§3.3); here the
+// atomicity is the simulation's cooperative scheduling: checks and updates
+// between yields are indivisible.
+type Bitmap struct {
+	sectors int64
+	words   []uint64
+	filled  int64
+}
+
+// NewBitmap returns an all-unfilled bitmap covering the given sectors.
+func NewBitmap(sectors int64) *Bitmap {
+	if sectors <= 0 {
+		panic("core: bitmap must cover a positive sector count")
+	}
+	return &Bitmap{sectors: sectors, words: make([]uint64, (sectors+63)/64)}
+}
+
+// Sectors reports the tracked capacity.
+func (b *Bitmap) Sectors() int64 { return b.sectors }
+
+// FilledCount reports how many sectors are filled.
+func (b *Bitmap) FilledCount() int64 { return b.filled }
+
+// Complete reports whether every sector is filled.
+func (b *Bitmap) Complete() bool { return b.filled == b.sectors }
+
+func (b *Bitmap) check(lba, count int64) {
+	if lba < 0 || count <= 0 || lba+count > b.sectors {
+		panic(fmt.Sprintf("core: bitmap range [%d,+%d) outside %d sectors", lba, count, b.sectors))
+	}
+}
+
+// Filled reports whether sector lba is filled.
+func (b *Bitmap) Filled(lba int64) bool {
+	b.check(lba, 1)
+	return b.words[lba/64]&(1<<uint(lba%64)) != 0
+}
+
+// AllFilled reports whether every sector in [lba, lba+count) is filled.
+func (b *Bitmap) AllFilled(lba, count int64) bool {
+	b.check(lba, count)
+	for i := lba; i < lba+count; i++ {
+		if b.words[i/64]&(1<<uint(i%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MarkFilled sets [lba, lba+count) filled, returning how many sectors
+// changed state.
+func (b *Bitmap) MarkFilled(lba, count int64) int64 {
+	b.check(lba, count)
+	var changed int64
+	for i := lba; i < lba+count; i++ {
+		w, bit := i/64, uint64(1)<<uint(i%64)
+		if b.words[w]&bit == 0 {
+			b.words[w] |= bit
+			changed++
+		}
+	}
+	b.filled += changed
+	return changed
+}
+
+// Run is a contiguous sector range.
+type Run struct {
+	LBA   int64
+	Count int64
+}
+
+// End reports the first sector past the run.
+func (r Run) End() int64 { return r.LBA + r.Count }
+
+// UnfilledRuns returns the maximal unfilled sub-ranges of [lba, lba+count)
+// in ascending order.
+func (b *Bitmap) UnfilledRuns(lba, count int64) []Run {
+	b.check(lba, count)
+	var runs []Run
+	var cur *Run
+	for i := lba; i < lba+count; i++ {
+		if b.words[i/64]&(1<<uint(i%64)) == 0 {
+			if cur != nil && cur.End() == i {
+				cur.Count++
+				continue
+			}
+			runs = append(runs, Run{LBA: i, Count: 1})
+			cur = &runs[len(runs)-1]
+		}
+	}
+	return runs
+}
+
+// NextUnfilled finds the first unfilled sector at or after lba, wrapping
+// to the start; it returns the run beginning there, capped at maxCount.
+// ok is false when the bitmap is complete.
+func (b *Bitmap) NextUnfilled(lba, maxCount int64) (Run, bool) {
+	if b.Complete() {
+		return Run{}, false
+	}
+	if lba >= b.sectors || lba < 0 {
+		lba = 0
+	}
+	scan := func(from, to int64) (Run, bool) {
+		for i := from; i < to; {
+			w := b.words[i/64]
+			if w == ^uint64(0) {
+				i = (i/64 + 1) * 64 // skip full word
+				continue
+			}
+			if w&(1<<uint(i%64)) == 0 {
+				run := Run{LBA: i, Count: 0}
+				for i < to && run.Count < maxCount && b.words[i/64]&(1<<uint(i%64)) == 0 {
+					run.Count++
+					i++
+				}
+				return run, true
+			}
+			i++
+		}
+		return Run{}, false
+	}
+	if r, ok := scan(lba, b.sectors); ok {
+		return r, true
+	}
+	return scan(0, lba)
+}
+
+// Marshal serializes the bitmap for on-disk persistence: the VMM saves it
+// to an unused disk region across shutdowns (§3.3).
+func (b *Bitmap) Marshal() []byte {
+	out := make([]byte, 16+len(b.words)*8)
+	putU64(out[0:], uint64(b.sectors))
+	putU64(out[8:], uint64(b.filled))
+	for i, w := range b.words {
+		putU64(out[16+i*8:], w)
+	}
+	return out
+}
+
+// UnmarshalBitmap restores a bitmap saved by Marshal.
+func UnmarshalBitmap(data []byte) (*Bitmap, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("core: bitmap blob too short: %d bytes", len(data))
+	}
+	sectors := int64(getU64(data[0:]))
+	filled := int64(getU64(data[8:]))
+	if sectors <= 0 {
+		return nil, fmt.Errorf("core: bitmap blob has invalid sector count %d", sectors)
+	}
+	b := NewBitmap(sectors)
+	if want := 16 + len(b.words)*8; len(data) < want {
+		return nil, fmt.Errorf("core: bitmap blob truncated: %d of %d bytes", len(data), want)
+	}
+	var recount int64
+	for i := range b.words {
+		w := getU64(data[16+i*8:])
+		b.words[i] = w
+		for ; w != 0; w &= w - 1 {
+			recount++
+		}
+	}
+	if recount != filled {
+		return nil, fmt.Errorf("core: bitmap blob corrupt: header says %d filled, bits say %d", filled, recount)
+	}
+	b.filled = filled
+	return b, nil
+}
+
+// PersistSize reports the marshaled size in bytes.
+func (b *Bitmap) PersistSize() int64 { return int64(16 + len(b.words)*8) }
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

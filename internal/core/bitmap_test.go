@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(1000)
+	if b.Filled(0) || b.FilledCount() != 0 || b.Complete() {
+		t.Fatal("fresh bitmap not empty")
+	}
+	if changed := b.MarkFilled(10, 5); changed != 5 {
+		t.Fatalf("changed = %d, want 5", changed)
+	}
+	if !b.AllFilled(10, 5) || b.Filled(9) || b.Filled(15) {
+		t.Fatal("mark boundaries wrong")
+	}
+	if changed := b.MarkFilled(10, 5); changed != 0 {
+		t.Fatal("re-mark reported changes")
+	}
+}
+
+func TestBitmapComplete(t *testing.T) {
+	b := NewBitmap(130) // crosses word boundaries
+	b.MarkFilled(0, 130)
+	if !b.Complete() || b.FilledCount() != 130 {
+		t.Fatal("bitmap not complete after full mark")
+	}
+}
+
+func TestUnfilledRuns(t *testing.T) {
+	b := NewBitmap(100)
+	b.MarkFilled(10, 10)
+	b.MarkFilled(50, 25)
+	runs := b.UnfilledRuns(0, 100)
+	want := []Run{{0, 10}, {20, 30}, {75, 25}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", runs, want)
+		}
+	}
+}
+
+func TestUnfilledRunsSubrange(t *testing.T) {
+	b := NewBitmap(100)
+	b.MarkFilled(30, 10)
+	runs := b.UnfilledRuns(25, 20) // [25,45): unfilled 25-30 and 40-45
+	if len(runs) != 2 || runs[0] != (Run{25, 5}) || runs[1] != (Run{40, 5}) {
+		t.Fatalf("runs = %v", runs)
+	}
+}
+
+func TestNextUnfilled(t *testing.T) {
+	b := NewBitmap(200)
+	b.MarkFilled(0, 100)
+	r, ok := b.NextUnfilled(0, 64)
+	if !ok || r.LBA != 100 || r.Count != 64 {
+		t.Fatalf("NextUnfilled = %v, %v", r, ok)
+	}
+	// Capped by maxCount.
+	r, _ = b.NextUnfilled(150, 10)
+	if r.LBA != 150 || r.Count != 10 {
+		t.Fatalf("NextUnfilled(150) = %v", r)
+	}
+}
+
+func TestNextUnfilledWraps(t *testing.T) {
+	b := NewBitmap(100)
+	b.MarkFilled(50, 50)
+	r, ok := b.NextUnfilled(80, 64)
+	if !ok || r.LBA != 0 {
+		t.Fatalf("NextUnfilled did not wrap: %v, %v", r, ok)
+	}
+}
+
+func TestNextUnfilledComplete(t *testing.T) {
+	b := NewBitmap(64)
+	b.MarkFilled(0, 64)
+	if _, ok := b.NextUnfilled(0, 8); ok {
+		t.Fatal("NextUnfilled on complete bitmap returned a run")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	b := NewBitmap(1000)
+	b.MarkFilled(3, 100)
+	b.MarkFilled(500, 77)
+	got, err := UnmarshalBitmap(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FilledCount() != b.FilledCount() || got.Sectors() != b.Sectors() {
+		t.Fatal("round trip counts differ")
+	}
+	if !bytes.Equal(got.Marshal(), b.Marshal()) {
+		t.Fatal("round trip bytes differ")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	b := NewBitmap(100)
+	b.MarkFilled(0, 10)
+	blob := b.Marshal()
+	blob[8] = 99 // lie about the filled count
+	if _, err := UnmarshalBitmap(blob); err == nil {
+		t.Fatal("corrupt blob accepted")
+	}
+	if _, err := UnmarshalBitmap(blob[:10]); err == nil {
+		t.Fatal("short blob accepted")
+	}
+	if _, err := UnmarshalBitmap(make([]byte, 100)); err == nil {
+		t.Fatal("zero sector count accepted")
+	}
+}
+
+func TestBitmapRangeChecks(t *testing.T) {
+	b := NewBitmap(10)
+	for _, f := range []func(){
+		func() { b.MarkFilled(5, 6) },
+		func() { b.Filled(10) },
+		func() { b.AllFilled(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range bitmap op did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestBitmapMatchesReferenceProperty compares against a plain bool slice.
+func TestBitmapMatchesReferenceProperty(t *testing.T) {
+	const n = 300
+	f := func(ops []uint16) bool {
+		b := NewBitmap(n)
+		ref := make([]bool, n)
+		for _, op := range ops {
+			lba := int64(op) % n
+			count := int64(op)/n%9 + 1
+			if lba+count > n {
+				count = n - lba
+			}
+			b.MarkFilled(lba, count)
+			for i := lba; i < lba+count; i++ {
+				ref[i] = true
+			}
+		}
+		var refFilled int64
+		for i, v := range ref {
+			if v != b.Filled(int64(i)) {
+				return false
+			}
+			if v {
+				refFilled++
+			}
+		}
+		if refFilled != b.FilledCount() {
+			return false
+		}
+		// Round trip must preserve everything.
+		rt, err := UnmarshalBitmap(b.Marshal())
+		if err != nil {
+			return false
+		}
+		for i := int64(0); i < n; i++ {
+			if rt.Filled(i) != b.Filled(i) {
+				return false
+			}
+		}
+		// UnfilledRuns must exactly cover the unfilled sectors.
+		covered := make([]bool, n)
+		for _, r := range b.UnfilledRuns(0, n) {
+			for i := r.LBA; i < r.End(); i++ {
+				covered[i] = true
+			}
+		}
+		for i, v := range ref {
+			if covered[i] == v { // covered iff unfilled
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

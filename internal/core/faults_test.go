@@ -1,0 +1,210 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw/disk"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// TestDeploymentSurvivesPacketLoss injects frame loss on both deployment
+// links; AoE retransmission must still produce a byte-exact deployment.
+func TestDeploymentSurvivesPacketLoss(t *testing.T) {
+	tcfg, vcfg, bp := smallConfig(machine.StorageAHCI)
+	tb := testbed.New(tcfg)
+	n := tb.AddNode(tcfg)
+	n.M.Firmware.InitTime = sim.Second
+	// The testbed wires links in AddNode order; inject loss by reaching
+	// through the node's VMM NIC link via a lossy switch reconfiguration
+	// is not exposed, so rebuild with loss through the switch instead:
+	// both directions of every link of this node.
+	for _, nic := range n.M.NICs {
+		_ = nic
+	}
+	// Loss is injected on the server side so every deployment flow is hit.
+	tb.ServerNIC.Promiscuous = false
+	var res *testbed.BMcastResult
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		r, err := tb.DeployBMcast(p, n, vcfg, bp)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = r
+		tb.WaitBareMetal(p, n, res)
+	})
+	// Set loss after the spawn but before events run: attach via the
+	// kernel's first event.
+	tb.K.After(0, func() { setNodeLoss(tb, 0.03) })
+	tb.K.RunUntil(sim.Time(2 * sim.Hour))
+	if res == nil || res.BareMetal == 0 {
+		t.Fatal("deployment did not complete under loss")
+	}
+	if n.VMM.Initiator().Retransmits.Value() == 0 {
+		t.Fatal("no retransmissions despite injected loss")
+	}
+	if _, err := tb.VerifyDeployment(n); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check bytes.
+	want := make([]byte, 64*disk.SectorSize)
+	tb.Image.ReadAt(4096, want)
+	got := make([]byte, 64*disk.SectorSize)
+	n.M.Disk.Store().ReadAt(4096, got)
+	if string(got) != string(want) {
+		t.Fatal("content corrupted under loss")
+	}
+}
+
+// setNodeLoss sets the loss rate on every link of the testbed switch by
+// sending through the exported structures.
+func setNodeLoss(tb *testbed.Testbed, rate float64) {
+	for _, l := range tb.Links() {
+		l.SetLossRate(rate)
+	}
+}
+
+// TestDeploymentWithVirtualIRQAblation checks the rejected design
+// alternative still deploys correctly (it is only costlier/less portable).
+func TestDeploymentWithVirtualIRQAblation(t *testing.T) {
+	for _, storage := range []machine.StorageKind{machine.StorageIDE, machine.StorageAHCI} {
+		t.Run(storage.String(), func(t *testing.T) {
+			tcfg, vcfg, bp := smallConfig(storage)
+			vcfg.VirtualIRQ = true
+			tb := testbed.New(tcfg)
+			n := tb.AddNode(tcfg)
+			n.M.Firmware.InitTime = sim.Second
+			var res *testbed.BMcastResult
+			tb.K.Spawn("deploy", func(p *sim.Proc) {
+				r, err := tb.DeployBMcast(p, n, vcfg, bp)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res = r
+				tb.WaitBareMetal(p, n, res)
+			})
+			tb.K.RunUntil(sim.Time(sim.Hour))
+			if res == nil || res.BareMetal == 0 {
+				t.Fatal("virtual-IRQ deployment did not complete")
+			}
+			if n.VMM.Mediator().Stats().DummyRestarts.Value() != 0 {
+				t.Fatal("virtual-IRQ mode still performed dummy restarts")
+			}
+			if _, err := tb.VerifyDeployment(n); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentDeployments starts several instances against one server:
+// they contend for server bandwidth but must all complete and verify.
+func TestConcurrentDeployments(t *testing.T) {
+	tcfg, vcfg, bp := smallConfig(machine.StorageAHCI)
+	tcfg.ImageBytes = 32 << 20
+	bp.TotalBytes = 4 << 20
+	bp.SpanSectors = (16 << 20) / disk.SectorSize
+	tb := testbed.New(tcfg)
+	const instances = 4
+	var nodes []*testbed.Node
+	doneCount := 0
+	for i := 0; i < instances; i++ {
+		n := tb.AddNode(tcfg)
+		n.M.Firmware.InitTime = sim.Second
+		nodes = append(nodes, n)
+		tb.K.Spawn("deploy", func(p *sim.Proc) {
+			res, err := tb.DeployBMcast(p, n, vcfg, bp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tb.WaitBareMetal(p, n, res)
+			doneCount++
+		})
+	}
+	tb.K.RunUntil(sim.Time(2 * sim.Hour))
+	if doneCount != instances {
+		t.Fatalf("only %d of %d concurrent deployments completed", doneCount, instances)
+	}
+	for i, n := range nodes {
+		if _, err := tb.VerifyDeployment(n); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+}
+
+// TestLargeDeploymentProperty runs randomized guest activity during a
+// deployment and asserts the end-state invariant: every image sector's
+// content equals either the image or the most recent guest write.
+func TestLargeDeploymentProperty(t *testing.T) {
+	tcfg, vcfg, bp := smallConfig(machine.StorageAHCI)
+	tb := testbed.New(tcfg)
+	n := tb.AddNode(tcfg)
+	n.M.Firmware.InitTime = sim.Second
+	rng := tb.K.Rand()
+	type writeRec struct{ lba, count int64 }
+	var writes []writeRec
+	gsrc := disk.Synth{Seed: 0xAB, Label: "guest-random"}
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		res, err := tb.DeployBMcast(p, n, vcfg, bp)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		image := tb.Image.Sectors
+		for i := 0; i < 60; i++ {
+			lba := rng.Int63n(image - 256)
+			count := rng.Int63n(255) + 1
+			if rng.Intn(2) == 0 {
+				if err := n.OS.WriteSectors(p, disk.Payload{LBA: lba, Count: count, Source: gsrc}); err != nil {
+					t.Error(err)
+					return
+				}
+				writes = append(writes, writeRec{lba, count})
+			} else {
+				if _, err := n.OS.ReadSectors(p, lba, count, true); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			p.Sleep(sim.Duration(rng.Int63n(int64(40 * sim.Millisecond))))
+		}
+		tb.WaitBareMetal(p, n, res)
+	})
+	tb.K.RunUntil(sim.Time(2 * sim.Hour))
+	if n.VMM == nil || n.VMM.Phase() != core.PhaseBareMetal {
+		t.Fatal("deployment did not finish")
+	}
+	// Build the expected content: image overlaid with guest writes in
+	// order (later writes win), plus boot writes which we skip checking.
+	lastWriter := make(map[int64]bool) // sector -> guest wrote it
+	for _, w := range writes {
+		for s := w.lba; s < w.lba+w.count; s++ {
+			lastWriter[s] = true
+		}
+	}
+	store := n.M.Disk.Store()
+	for probe := 0; probe < 300; probe++ {
+		s := rng.Int63n(tb.Image.Sectors)
+		src := store.SourceAt(s)
+		name := src.Name()
+		switch {
+		case lastWriter[s]:
+			if name != "guest-random" {
+				// A guest-written sector may have been rewritten by a
+				// later guest write only; never by the copy.
+				t.Fatalf("sector %d: guest write clobbered by %q", s, name)
+			}
+		case name == "boot-writes" || name == "guest-random":
+			// Boot writes land outside image verification interest.
+		default:
+			if name != tb.Image.Name() {
+				t.Fatalf("sector %d: unexpected source %q", s, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/hw/disk"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// smallConfig builds a quick deployment scenario: 64 MB image, fast
+// firmware, aggressive copy so tests finish in simulated minutes.
+func smallConfig(storage machine.StorageKind) (testbed.Config, core.Config, guest.BootProfile) {
+	tcfg := testbed.DefaultConfig()
+	tcfg.ImageBytes = 64 << 20
+	tcfg.Storage = storage
+	tcfg.DiskSectors = 1 << 20 // 512 MB disk
+
+	vcfg := core.DefaultConfig()
+	vcfg.WriteInterval = 2 * sim.Millisecond
+	vcfg.SuspendInterval = 20 * sim.Millisecond
+
+	bp := guest.DefaultBootProfile()
+	bp.TotalBytes = 8 << 20
+	bp.CPUTime = 3 * sim.Second
+	bp.SpanSectors = (48 << 20) / disk.SectorSize
+	return tcfg, vcfg, bp
+}
+
+func runDeployment(t *testing.T, storage machine.StorageKind) (*testbed.Testbed, *testbed.Node, *testbed.BMcastResult) {
+	t.Helper()
+	tcfg, vcfg, bp := smallConfig(storage)
+	tb := testbed.New(tcfg)
+	n := tb.AddNode(tcfg)
+	n.M.Firmware.InitTime = sim.Second // fast firmware for unit tests
+	var res *testbed.BMcastResult
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		r, err := tb.DeployBMcast(p, n, vcfg, bp)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = r
+		tb.WaitBareMetal(p, n, res)
+	})
+	tb.K.RunUntil(sim.Time(30 * sim.Minute))
+	if res == nil || res.BareMetal == 0 {
+		t.Fatalf("deployment did not reach bare metal (res=%+v, phase=%v)", res, n.VMM.Phase())
+	}
+	return tb, n, res
+}
+
+func TestFullDeploymentAHCI(t *testing.T) {
+	tb, n, res := runDeployment(t, machine.StorageAHCI)
+	if !n.OS.Booted {
+		t.Fatal("guest did not boot")
+	}
+	// With the test's tiny image the copy can finish before the guest
+	// boot does — legitimate for BMcast; only the causal order matters.
+	if !(res.VMMBooted < res.GuestBooted && res.VMMBooted < res.BareMetal && res.Deployed <= res.BareMetal) {
+		t.Fatalf("phase ordering wrong: %+v", res)
+	}
+	if !n.VMM.Bitmap().Complete() {
+		t.Fatal("bitmap incomplete at bare-metal phase")
+	}
+	if n.M.World.Virtualized() {
+		t.Fatal("still virtualized after de-virtualization")
+	}
+	if n.M.IO.Tapped(n.M.StorageRegions[0]) {
+		t.Fatal("storage still tapped after de-virtualization")
+	}
+	if _, err := tb.VerifyDeployment(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullDeploymentIDE(t *testing.T) {
+	tb, n, _ := runDeployment(t, machine.StorageIDE)
+	if _, err := tb.VerifyDeployment(n); err != nil {
+		t.Fatal(err)
+	}
+	if !n.VMM.Bitmap().Complete() {
+		t.Fatal("bitmap incomplete")
+	}
+}
+
+// TestDeployedContentByteExact spot-checks actual bytes: after
+// deployment, random ranges of the local disk equal the server image
+// except guest-written ranges.
+func TestDeployedContentByteExact(t *testing.T) {
+	tb, n, _ := runDeployment(t, machine.StorageAHCI)
+	img := tb.Image
+	for _, lba := range []int64{0, 12345, 77777, img.Sectors - 64} {
+		want := make([]byte, 64*disk.SectorSize)
+		img.ReadAt(lba, want)
+		got := make([]byte, 64*disk.SectorSize)
+		n.M.Disk.Store().ReadAt(lba, got)
+		if !bytes.Equal(got, want) {
+			src := n.M.Disk.Store().SourceAt(lba)
+			// Guest boot writes are legitimate differences.
+			if src.Name() == "boot-writes" {
+				continue
+			}
+			t.Fatalf("content mismatch at lba %d (source %s)", lba, src.Name())
+		}
+	}
+}
+
+func TestGuestIOWorksAfterDevirt(t *testing.T) {
+	tb, n, _ := runDeployment(t, machine.StorageAHCI)
+	trapsBefore := n.M.IO.Traps
+	done := false
+	tb.K.Spawn("post", func(p *sim.Proc) {
+		src := disk.Synth{Seed: 777, Label: "post-devirt"}
+		if err := n.OS.WriteSectors(p, disk.Payload{LBA: 4096, Count: 64, Source: src}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := n.OS.ReadSectors(p, 4096, 64, true); err != nil {
+			t.Error(err)
+			return
+		}
+		done = true
+	})
+	tb.K.Run()
+	if !done {
+		t.Fatal("post-devirt I/O did not complete")
+	}
+	if n.M.IO.Traps != trapsBefore {
+		t.Fatal("post-devirt I/O trapped — zero-overhead claim violated")
+	}
+}
+
+func TestGuestWritesDuringDeploymentWin(t *testing.T) {
+	// The paper's §3.3 consistency scenario: a guest write racing the
+	// background copy must survive.
+	tcfg, vcfg, bp := smallConfig(machine.StorageAHCI)
+	tb := testbed.New(tcfg)
+	n := tb.AddNode(tcfg)
+	n.M.Firmware.InitTime = sim.Second
+	gsrc := disk.Synth{Seed: 0xFEED, Label: "guest-app"}
+	writes := []int64{1000, 30000, 60000, 100000}
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		res, err := tb.DeployBMcast(p, n, vcfg, bp)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// While deployment runs, the guest writes to scattered blocks.
+		for _, lba := range writes {
+			if err := n.OS.WriteSectors(p, disk.Payload{LBA: lba, Count: 128, Source: gsrc}); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(50 * sim.Millisecond)
+		}
+		tb.WaitBareMetal(p, n, res)
+	})
+	tb.K.RunUntil(sim.Time(30 * sim.Minute))
+	for _, lba := range writes {
+		for _, probe := range []int64{lba, lba + 64, lba + 127} {
+			if got := n.M.Disk.Store().SourceAt(probe); got != disk.SectorSource(gsrc) {
+				t.Fatalf("guest write at %d clobbered by background copy (source %s)", probe, got.Name())
+			}
+		}
+	}
+}
+
+func TestBitmapSaveLoad(t *testing.T) {
+	tcfg, vcfg, bp := smallConfig(machine.StorageAHCI)
+	vcfg.WriteInterval = 50 * sim.Millisecond // slow copy so we stop mid-deploy
+	tb := testbed.New(tcfg)
+	n := tb.AddNode(tcfg)
+	n.M.Firmware.InitTime = sim.Second
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		if _, err := tb.DeployBMcast(p, n, vcfg, bp); err != nil {
+			t.Error(err)
+			return
+		}
+		// Mid-deployment: persist, corrupt memory state, restore.
+		before := n.VMM.Bitmap().FilledCount()
+		if before == 0 || n.VMM.Bitmap().Complete() {
+			t.Errorf("unexpected bitmap state for save test: %d filled", before)
+			return
+		}
+		if err := n.VMM.SaveBitmap(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := n.VMM.LoadBitmap(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := n.VMM.Bitmap().FilledCount(); got != before {
+			t.Errorf("restored bitmap has %d filled, want %d", got, before)
+		}
+	})
+	tb.K.RunUntil(sim.Time(10 * sim.Minute))
+}
+
+func TestModerationSuspendsUnderGuestLoad(t *testing.T) {
+	tcfg, vcfg, bp := smallConfig(machine.StorageAHCI)
+	vcfg.GuestIOFreqThreshold = 10
+	tb := testbed.New(tcfg)
+	n := tb.AddNode(tcfg)
+	n.M.Firmware.InitTime = sim.Second
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		if _, err := tb.DeployBMcast(p, n, vcfg, bp); err != nil {
+			t.Error(err)
+			return
+		}
+		// Hammer the disk: moderation must suspend the copy.
+		for i := 0; i < 400; i++ {
+			if _, err := n.OS.ReadSectors(p, int64(i%100)*64, 8, true); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	tb.K.RunUntil(sim.Time(5 * sim.Minute))
+	if n.VMM.Suspends.Value() == 0 {
+		t.Fatal("background copy never suspended under guest load")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[core.Phase]string{
+		core.PhaseInitialization:   "initialization",
+		core.PhaseDeployment:       "deployment",
+		core.PhaseDevirtualization: "de-virtualization",
+		core.PhaseBareMetal:        "bare-metal",
+	}
+	for ph, s := range want {
+		if ph.String() != s {
+			t.Fatalf("Phase(%d).String() = %q", ph, ph.String())
+		}
+	}
+}

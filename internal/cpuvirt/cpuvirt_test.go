@@ -1,0 +1,167 @@
+package cpuvirt
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestEnterVMX(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 12)
+	if w.NCPU() != 12 || w.Virtualized() {
+		t.Fatal("fresh world wrong")
+	}
+	w.EnterVMX()
+	if !w.Virtualized() || w.NestedPagingOff() {
+		t.Fatal("EnterVMX did not enable VMX+EPT")
+	}
+}
+
+func TestExitAccounting(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 2)
+	var elapsed sim.Duration
+	k.Spawn("guest", func(p *sim.Proc) {
+		start := p.Now()
+		w.Exit(p, ExitPIO)
+		w.Exit(p, ExitPIO)
+		w.Exit(p, ExitCPUID)
+		elapsed = p.Now().Sub(start)
+	})
+	k.Run()
+	if w.ExitCount(ExitPIO) != 2 || w.ExitCount(ExitCPUID) != 1 {
+		t.Fatal("exit counts wrong")
+	}
+	if w.TotalExits() != 3 {
+		t.Fatalf("TotalExits = %d", w.TotalExits())
+	}
+	want := 2*DefaultCosts()[ExitPIO] + DefaultCosts()[ExitCPUID]
+	if elapsed != want {
+		t.Fatalf("exit time charged = %v, want %v", elapsed, want)
+	}
+}
+
+func TestExitWithoutProc(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 1)
+	w.Exit(nil, ExitMMIO) // accounting only, no sleep
+	if w.ExitCount(ExitMMIO) != 1 {
+		t.Fatal("nil-proc exit not counted")
+	}
+}
+
+func TestDevirtualize(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 12)
+	w.EnterVMX()
+	k.Spawn("vmm", func(p *sim.Proc) { w.Devirtualize(p) })
+	k.Run()
+	if w.Virtualized() {
+		t.Fatal("still virtualized after Devirtualize")
+	}
+	if !w.NestedPagingOff() {
+		t.Fatal("EPT still on after Devirtualize")
+	}
+}
+
+func TestDevirtualizeIdempotentOnBareMetal(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 4)
+	k.Spawn("vmm", func(p *sim.Proc) { w.Devirtualize(p) }) // never entered VMX
+	k.Run()
+	if w.Virtualized() {
+		t.Fatal("bare metal world reports virtualized")
+	}
+}
+
+func TestPreemptionTimer(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 1)
+	fires := 0
+	tm := w.StartPreemptionTimer(100*sim.Microsecond, func() { fires++ })
+	k.RunUntil(sim.Time(sim.Millisecond))
+	tm.Stop()
+	k.Run()
+	if fires != 10 {
+		t.Fatalf("timer fired %d times in 1ms at 100µs, want 10", fires)
+	}
+	if w.ExitCount(ExitPreemptionTimer) != 10 {
+		t.Fatal("preemption-timer exits not counted")
+	}
+	after := fires
+	k.RunUntil(sim.Time(2 * sim.Millisecond))
+	if fires != after {
+		t.Fatal("timer fired after Stop")
+	}
+}
+
+func TestPreemptionTimerSetInterval(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 1)
+	fires := 0
+	tm := w.StartPreemptionTimer(100*sim.Microsecond, func() { fires++ })
+	tm.SetInterval(500 * sim.Microsecond)
+	k.RunUntil(sim.Time(sim.Millisecond))
+	tm.Stop()
+	// First fire at 100µs, subsequent at 600µs; next would be 1100µs.
+	if fires != 2 {
+		t.Fatalf("fires = %d, want 2", fires)
+	}
+	if tm.Interval() != 500*sim.Microsecond {
+		t.Fatal("Interval not updated")
+	}
+}
+
+func TestTaxFromVMMWork(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 10)
+	// Consume 0.5 CPU-seconds of VMM work during the first second on a
+	// 10-CPU machine: tax should be ~5% once the window closes.
+	k.Spawn("vmm", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			w.RecordVMMWork(5 * sim.Millisecond)
+			p.Sleep(10 * sim.Millisecond)
+		}
+	})
+	k.RunUntil(sim.Time(1500 * sim.Millisecond))
+	got := w.Tax()
+	if got < 0.045 || got > 0.055 {
+		t.Fatalf("Tax = %v, want ~0.05", got)
+	}
+}
+
+func TestTaxDecaysWhenIdle(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 1)
+	w.RecordVMMWork(500 * sim.Millisecond)
+	k.RunUntil(sim.Time(10 * sim.Second))
+	if got := w.Tax(); got != 0 {
+		t.Fatalf("Tax after long idle = %v, want 0", got)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, 1)
+	if w.Slowdown(1.0) != 1.0 {
+		t.Fatal("bare metal slowdown must be 1")
+	}
+	w.Overheads.MemPenalty = 0.35
+	if got := w.Slowdown(1.0); got != 1.35 {
+		t.Fatalf("Slowdown(1.0) = %v, want 1.35", got)
+	}
+	if got := w.Slowdown(0.5); got < 1.17 || got > 1.18 {
+		t.Fatalf("Slowdown(0.5) = %v, want ~1.175", got)
+	}
+	w.Overheads.CPUTaxStatic = 0.5
+	if got := w.Slowdown(0.0); got != 2.0 {
+		t.Fatalf("Slowdown with 50%% tax = %v, want 2.0", got)
+	}
+}
+
+func TestExitReasonString(t *testing.T) {
+	if ExitPIO.String() != "pio" || ExitPreemptionTimer.String() != "preemption-timer" {
+		t.Fatal("ExitReason names wrong")
+	}
+}

@@ -1,0 +1,197 @@
+// Package ethernet models a switched Ethernet segment: full-duplex links
+// with bandwidth, propagation delay and MTU (including 9000-byte jumbo
+// frames as in the paper's testbed), a learning switch, and deterministic
+// loss injection for exercising AoE retransmission.
+package ethernet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MAC is a link-layer address.
+type MAC uint64
+
+// Broadcast is the all-stations address.
+const Broadcast MAC = 0xFFFFFFFFFFFF
+
+func (m MAC) String() string { return fmt.Sprintf("%012x", uint64(m)) }
+
+// HeaderSize is the Ethernet frame header size in bytes (dest, src,
+// ethertype) plus FCS.
+const HeaderSize = 18
+
+// Frame is a link-layer frame. Payload carries the upper-layer message by
+// reference; Size is the wire size in bytes including headers, which drives
+// serialization timing and MTU checks.
+type Frame struct {
+	Src, Dst  MAC
+	EtherType uint16
+	Payload   any
+	Size      int64
+}
+
+// Port receives frames from the segment.
+type Port interface {
+	Deliver(f *Frame)
+}
+
+// LinkParams describe one full-duplex link.
+type LinkParams struct {
+	Bandwidth   float64      // bits per second
+	Propagation sim.Duration // one-way propagation delay
+	MTU         int64        // max frame size in bytes (incl. headers)
+	LossRate    float64      // fraction of frames dropped, per direction
+}
+
+// GigabitJumbo returns the paper's testbed link: gigabit Ethernet with a
+// 9000-byte MTU.
+func GigabitJumbo() LinkParams {
+	return LinkParams{Bandwidth: 1e9, Propagation: 2 * sim.Microsecond, MTU: 9018}
+}
+
+// Gigabit returns a standard-MTU gigabit link.
+func Gigabit() LinkParams {
+	return LinkParams{Bandwidth: 1e9, Propagation: 2 * sim.Microsecond, MTU: 1518}
+}
+
+// TenGigabitJumbo returns a 10 GbE jumbo-frame link.
+func TenGigabitJumbo() LinkParams {
+	return LinkParams{Bandwidth: 10e9, Propagation: 2 * sim.Microsecond, MTU: 9018}
+}
+
+// direction models one direction of a link: a serializing transmitter.
+type direction struct {
+	k         *sim.Kernel
+	p         LinkParams
+	busyUntil sim.Time
+	dropped   int64
+	delivered int64
+}
+
+// transmit schedules delivery of f to port after serialization and
+// propagation, honoring MTU and loss rate. It reports the time the frame
+// finishes serializing (even if lost).
+func (d *direction) transmit(f *Frame, port Port) sim.Time {
+	if f.Size > d.p.MTU {
+		panic(fmt.Sprintf("ethernet: frame size %d exceeds MTU %d", f.Size, d.p.MTU))
+	}
+	start := d.k.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	ser := sim.Duration(float64(f.Size*8) / d.p.Bandwidth * float64(sim.Second))
+	done := start.Add(ser)
+	d.busyUntil = done
+	if d.p.LossRate > 0 && d.k.Rand().Float64() < d.p.LossRate {
+		d.dropped++
+		return done
+	}
+	d.delivered++
+	d.k.At(done.Add(d.p.Propagation), func() { port.Deliver(f) })
+	return done
+}
+
+// Link is a full-duplex point-to-point link between a station and a switch
+// (or another station).
+type Link struct {
+	a2b, b2a *direction
+	aPort    Port // station side
+	bPort    Port // switch side
+}
+
+// NewLink creates a link with the given parameters on both directions.
+func NewLink(k *sim.Kernel, p LinkParams) *Link {
+	return &Link{
+		a2b: &direction{k: k, p: p},
+		b2a: &direction{k: k, p: p},
+	}
+}
+
+// AttachA sets the station-side port (receives frames travelling B→A).
+func (l *Link) AttachA(p Port) { l.aPort = p }
+
+// AttachB sets the switch-side port (receives frames travelling A→B).
+func (l *Link) AttachB(p Port) { l.bPort = p }
+
+// SendFromA transmits a frame from the A side toward B.
+func (l *Link) SendFromA(f *Frame) {
+	if l.bPort == nil {
+		panic("ethernet: link B side not attached")
+	}
+	l.a2b.transmit(f, l.bPort)
+}
+
+// SendFromB transmits a frame from the B side toward A.
+func (l *Link) SendFromB(f *Frame) {
+	if l.aPort == nil {
+		panic("ethernet: link A side not attached")
+	}
+	l.b2a.transmit(f, l.aPort)
+}
+
+// MTU reports the link MTU in bytes.
+func (l *Link) MTU() int64 { return l.a2b.p.MTU }
+
+// SetLossRate changes the frame loss rate on both directions.
+func (l *Link) SetLossRate(r float64) {
+	l.a2b.p.LossRate = r
+	l.b2a.p.LossRate = r
+}
+
+// Dropped reports frames dropped in both directions.
+func (l *Link) Dropped() int64 { return l.a2b.dropped + l.b2a.dropped }
+
+// Delivered reports frames delivered in both directions.
+func (l *Link) Delivered() int64 { return l.a2b.delivered + l.b2a.delivered }
+
+// Switch is a store-and-forward learning switch. Stations connect through
+// links; the switch learns source MACs and floods unknown destinations.
+type Switch struct {
+	k       *sim.Kernel
+	name    string
+	latency sim.Duration
+	links   []*Link
+	table   map[MAC]*Link
+}
+
+// NewSwitch returns a switch with the given forwarding latency.
+func NewSwitch(k *sim.Kernel, name string, latency sim.Duration) *Switch {
+	return &Switch{k: k, name: name, latency: latency, table: make(map[MAC]*Link)}
+}
+
+// Connect attaches a new link to the switch and returns it; the caller
+// attaches its station to the A side.
+func (s *Switch) Connect(p LinkParams) *Link {
+	l := NewLink(s.k, p)
+	l.AttachB(&switchPort{sw: s, link: l})
+	s.links = append(s.links, l)
+	return l
+}
+
+type switchPort struct {
+	sw   *Switch
+	link *Link
+}
+
+// Deliver handles a frame arriving at the switch from link.
+func (sp *switchPort) Deliver(f *Frame) {
+	sw := sp.sw
+	sw.table[f.Src] = sp.link // learn
+	sw.k.After(sw.latency, func() {
+		if f.Dst != Broadcast {
+			if out, ok := sw.table[f.Dst]; ok {
+				if out != sp.link {
+					out.SendFromB(f)
+				}
+				return
+			}
+		}
+		for _, l := range sw.links { // flood
+			if l != sp.link {
+				l.SendFromB(f)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package ethernet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type collector struct {
+	frames []*Frame
+	times  []sim.Time
+	k      *sim.Kernel
+}
+
+func (c *collector) Deliver(f *Frame) {
+	c.frames = append(c.frames, f)
+	c.times = append(c.times, c.k.Now())
+}
+
+func twoStations(k *sim.Kernel, p LinkParams) (*Switch, *Link, *Link, *collector, *collector) {
+	sw := NewSwitch(k, "sw", 5*sim.Microsecond)
+	la := sw.Connect(p)
+	lb := sw.Connect(p)
+	ca := &collector{k: k}
+	cb := &collector{k: k}
+	la.AttachA(ca)
+	lb.AttachA(cb)
+	return sw, la, lb, ca, cb
+}
+
+func TestDeliveryThroughSwitch(t *testing.T) {
+	k := sim.New(1)
+	_, la, _, _, cb := twoStations(k, GigabitJumbo())
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 1000})
+	k.Run()
+	if len(cb.frames) != 1 {
+		t.Fatalf("station B received %d frames, want 1 (flooded unknown dst)", len(cb.frames))
+	}
+}
+
+func TestLearningSuppressesFlood(t *testing.T) {
+	k := sim.New(1)
+	sw := NewSwitch(k, "sw", 0)
+	la := sw.Connect(GigabitJumbo())
+	lb := sw.Connect(GigabitJumbo())
+	lc := sw.Connect(GigabitJumbo())
+	ca, cb, cc := &collector{k: k}, &collector{k: k}, &collector{k: k}
+	la.AttachA(ca)
+	lb.AttachA(cb)
+	lc.AttachA(cc)
+
+	lb.SendFromA(&Frame{Src: 2, Dst: 1, Size: 100}) // teaches the switch MAC 2
+	k.Run()
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 100}) // should go only to B
+	k.Run()
+	if len(cb.frames) != 1 {
+		t.Fatalf("B received %d frames, want 1", len(cb.frames))
+	}
+	if len(cc.frames) != 1 { // only the initial flood of the first frame
+		t.Fatalf("C received %d frames, want 1 (flood of first frame only)", len(cc.frames))
+	}
+}
+
+func TestSerializationTiming(t *testing.T) {
+	// A 9000-byte frame on gigabit takes 72 µs to serialize per hop, plus
+	// propagation and switch latency.
+	k := sim.New(1)
+	_, la, _, _, cb := twoStations(k, GigabitJumbo())
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 9000})
+	k.Run()
+	got := cb.times[0]
+	want := sim.Time(2*72*sim.Microsecond + 2*2*sim.Microsecond + 5*sim.Microsecond)
+	if got != want {
+		t.Fatalf("delivery at %v, want %v", got, want)
+	}
+}
+
+func TestBackToBackFramesSerialize(t *testing.T) {
+	k := sim.New(1)
+	_, la, _, _, cb := twoStations(k, GigabitJumbo())
+	for i := 0; i < 3; i++ {
+		la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 9000})
+	}
+	k.Run()
+	if len(cb.times) != 3 {
+		t.Fatalf("received %d frames", len(cb.times))
+	}
+	gap := cb.times[1].Sub(cb.times[0])
+	if gap != 72*sim.Microsecond {
+		t.Fatalf("inter-frame gap = %v, want 72µs (line rate)", gap)
+	}
+}
+
+func TestMTUEnforced(t *testing.T) {
+	k := sim.New(1)
+	_, la, _, _, _ := twoStations(k, Gigabit())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize frame did not panic")
+		}
+	}()
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 9000})
+}
+
+func TestLossInjection(t *testing.T) {
+	k := sim.New(1)
+	p := GigabitJumbo()
+	p.LossRate = 0.5
+	_, la, _, _, cb := twoStations(k, p)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 1000})
+	}
+	k.Run()
+	got := len(cb.frames)
+	// Loss is applied per hop: two 50% links give ~25% end-to-end delivery.
+	if got < 150 || got > 350 {
+		t.Fatalf("with 50%% loss per hop, delivered %d of %d, want ~250", got, n)
+	}
+	if la.Dropped() == 0 {
+		t.Fatal("Dropped counter not incremented")
+	}
+	if la.Dropped()+int64(got) > n { // some drops could be on the egress link
+		t.Logf("ingress drops %d, delivered %d", la.Dropped(), got)
+	}
+}
+
+func TestSetLossRate(t *testing.T) {
+	k := sim.New(1)
+	_, la, _, _, cb := twoStations(k, GigabitJumbo())
+	la.SetLossRate(1.0)
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 100})
+	k.Run()
+	if len(cb.frames) != 0 {
+		t.Fatal("frame delivered despite 100% loss")
+	}
+	la.SetLossRate(0)
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 100})
+	k.Run()
+	if len(cb.frames) != 1 {
+		t.Fatal("frame lost despite 0% loss")
+	}
+}
+
+func TestBidirectionalIndependence(t *testing.T) {
+	// Full duplex: simultaneous transfers in both directions don't share
+	// bandwidth.
+	k := sim.New(1)
+	_, la, lb, ca, cb := twoStations(k, GigabitJumbo())
+	// Teach the switch both addresses first.
+	la.SendFromA(&Frame{Src: 1, Dst: Broadcast, Size: 64})
+	lb.SendFromA(&Frame{Src: 2, Dst: Broadcast, Size: 64})
+	k.Run()
+	ca.frames, cb.frames, ca.times, cb.times = nil, nil, nil, nil
+	start := k.Now()
+	for i := 0; i < 10; i++ {
+		la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 9000})
+		lb.SendFromA(&Frame{Src: 2, Dst: 1, Size: 9000})
+	}
+	k.Run()
+	elapsed := k.Now().Sub(start)
+	// 10 jumbo frames at line rate ≈ 720 µs + small constants. If the
+	// directions shared bandwidth this would be ~1.44 ms.
+	if elapsed > sim.Millisecond {
+		t.Fatalf("bidirectional transfer took %v; directions appear coupled", elapsed)
+	}
+	if len(ca.frames) != 10 || len(cb.frames) != 10 {
+		t.Fatalf("delivered %d/%d frames", len(ca.frames), len(cb.frames))
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/hw/ib"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ibPair builds two HCAs on one fabric with the platform's per-operation
+// extra latency: zero on bare metal and under BMcast (the HCA is
+// untouched in both phases), the IOMMU/interrupt cost on KVM even with
+// direct device assignment.
+func ibPair(opt Options, pl platform) (*sim.Kernel, *ib.HCA, *ib.HCA) {
+	k := sim.New(opt.Seed)
+	fabric := ib.QDR4X(k)
+	a, b := fabric.NewHCA("a"), fabric.NewHCA("b")
+	switch pl {
+	case platDeploy:
+		// BMcast leaves the HCA alone; the polling threads add only a
+		// sliver of host-side interference.
+		a.ExtraLatency, b.ExtraLatency = 40*sim.Nanosecond, 40*sim.Nanosecond
+	case platKVM:
+		x := baseline.DefaultKVMConfig().IBExtraLatency
+		a.ExtraLatency, b.ExtraLatency = x, x
+	}
+	return k, a, b
+}
+
+// Fig12 reproduces the InfiniBand throughput benchmark (paper Figure 12):
+// ib_rdma_bw with 64 KB messages. Paper: no measurable difference — the
+// link saturates and the HCA's command queuing hides everything.
+func Fig12(opt Options) []*report.Table {
+	t := &report.Table{
+		Title:   "Fig 12 — InfiniBand RDMA throughput (64 KB × pipelined)",
+		Columns: []string{"platform", "GB/s", "vs BM"},
+	}
+	var bm float64
+	for _, pl := range []platform{platBaremetal, platDeploy, platDevirt, platKVM} {
+		k, a, b := ibPair(opt, pl)
+		var res workload.RDMABwResult
+		k.Spawn("bw", func(p *sim.Proc) {
+			res = workload.RDMABandwidth(p, a, b, 64<<10, opt.RDMAIterations, 16)
+		})
+		k.Run()
+		if pl == platBaremetal {
+			bm = res.Throughput
+		}
+		name := pl.String()
+		if pl == platKVM {
+			name = "KVM/Direct"
+		}
+		t.AddRow(name, fmt.Sprintf("%.3f", res.Throughput/1e9), pct(res.Throughput, bm))
+	}
+	t.AddNote("paper: all platforms equal — network saturated, overhead hidden by RDMA command queuing")
+	return []*report.Table{t}
+}
+
+// Fig13 reproduces the InfiniBand latency benchmark (paper Figure 13):
+// ib_rdma_lat with 64 KB messages. Paper: KVM/Direct +23.6% (IOMMU, cache
+// pollution, nested paging); BMcast <1% in both phases.
+func Fig13(opt Options) []*report.Table {
+	t := &report.Table{
+		Title:   "Fig 13 — InfiniBand RDMA latency (64 KB × sequential)",
+		Columns: []string{"platform", "µs", "vs BM"},
+	}
+	var bm sim.Duration
+	for _, pl := range []platform{platBaremetal, platDeploy, platDevirt, platKVM} {
+		k, a, b := ibPair(opt, pl)
+		var res workload.RDMALatResult
+		k.Spawn("lat", func(p *sim.Proc) {
+			res = workload.RDMALatency(p, a, b, 64<<10, opt.RDMAIterations)
+		})
+		k.Run()
+		if pl == platBaremetal {
+			bm = res.Mean
+		}
+		name := pl.String()
+		if pl == platKVM {
+			name = "KVM/Direct"
+		}
+		t.AddRow(name, fmt.Sprintf("%.2f", res.Mean.Microseconds()), pct(float64(res.Mean), float64(bm)))
+	}
+	t.AddNote("paper: KVM/Direct +23.6%%; BMcast <1%% in deployment and after de-virtualization")
+	return []*report.Table{t}
+}

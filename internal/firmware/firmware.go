@@ -1,0 +1,73 @@
+// Package firmware models the server's BIOS/UEFI: the long initialization
+// that dominates bare-metal restart time, the boot-device handoff, and the
+// memory-map manipulation hook BMcast uses to reserve VMM memory.
+//
+// The paper's testbed firmware takes 133 seconds to initialize — a major
+// reason image-copy deployment (which must reboot after the copy) is slow,
+// and a cost BMcast pays only once because it never reboots.
+package firmware
+
+import (
+	"repro/internal/hw/mem"
+	"repro/internal/sim"
+)
+
+// BootSource selects where the firmware hands control.
+type BootSource int
+
+// Boot sources.
+const (
+	BootLocalDisk BootSource = iota
+	BootNetwork              // PXE
+)
+
+func (b BootSource) String() string {
+	if b == BootNetwork {
+		return "network"
+	}
+	return "local-disk"
+}
+
+// Firmware is one machine's firmware.
+type Firmware struct {
+	// InitTime is the power-on initialization time (POST, option ROMs,
+	// management controller); server boards are notoriously slow.
+	InitTime sim.Duration
+	// PXETime is the extra time network boot spends in DHCP/TFTP before
+	// loading the first-stage payload.
+	PXETime sim.Duration
+
+	memory *mem.Memory
+
+	// Boots counts completed firmware initializations.
+	Boots int
+}
+
+// New returns firmware for a machine with the given memory.
+func New(memory *mem.Memory, initTime sim.Duration) *Firmware {
+	return &Firmware{InitTime: initTime, PXETime: 3 * sim.Second, memory: memory}
+}
+
+// PowerOn performs the full firmware initialization, blocking the process,
+// and reports the boot source handed off to.
+func (f *Firmware) PowerOn(p *sim.Proc, src BootSource) BootSource {
+	p.Sleep(f.InitTime)
+	if src == BootNetwork {
+		p.Sleep(f.PXETime)
+	}
+	f.Boots++
+	return f.Boots1Source(src)
+}
+
+// Boots1Source exists to keep the handoff explicit in traces.
+func (f *Firmware) Boots1Source(src BootSource) BootSource { return src }
+
+// ReserveForVMM manipulates the memory map so the guest never sees the
+// VMM's region (paper §3.4): the returned region is removed from the
+// e820 map the guest OS will read.
+func (f *Firmware) ReserveForVMM(size int64) mem.Region {
+	return f.memory.Reserve(size, "vmm")
+}
+
+// E820 reports the guest-visible memory map.
+func (f *Firmware) E820() []mem.Region { return f.memory.E820() }

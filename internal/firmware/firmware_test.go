@@ -1,0 +1,52 @@
+package firmware
+
+import (
+	"testing"
+
+	"repro/internal/hw/mem"
+	"repro/internal/sim"
+)
+
+func TestPowerOnTiming(t *testing.T) {
+	k := sim.New(1)
+	m := mem.New(64 << 20)
+	fw := New(m, 133*sim.Second)
+	var local, network sim.Time
+	k.Spawn("boot", func(p *sim.Proc) {
+		fw.PowerOn(p, BootLocalDisk)
+		local = p.Now()
+		fw.PowerOn(p, BootNetwork)
+		network = p.Now()
+	})
+	k.Run()
+	if local != sim.Time(133*sim.Second) {
+		t.Fatalf("local boot handoff at %v, want 133s", local)
+	}
+	if network.Sub(local) != 133*sim.Second+fw.PXETime {
+		t.Fatalf("network boot took %v, want 133s + PXE", network.Sub(local))
+	}
+	if fw.Boots != 2 {
+		t.Fatalf("Boots = %d", fw.Boots)
+	}
+}
+
+func TestReserveForVMMHidesMemory(t *testing.T) {
+	m := mem.New(64 << 20)
+	fw := New(m, sim.Second)
+	before := m.UsableSize()
+	r := fw.ReserveForVMM(8 << 20)
+	if m.UsableSize() != before-(8<<20) {
+		t.Fatal("reservation did not shrink the usable map")
+	}
+	for _, u := range fw.E820() {
+		if u.Start < r.End() && r.Start < u.End() {
+			t.Fatal("E820 exposes the VMM region")
+		}
+	}
+}
+
+func TestBootSourceString(t *testing.T) {
+	if BootLocalDisk.String() != "local-disk" || BootNetwork.String() != "network" {
+		t.Fatal("BootSource names wrong")
+	}
+}

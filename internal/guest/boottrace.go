@@ -1,0 +1,81 @@
+package guest
+
+import (
+	"math/rand"
+
+	"repro/internal/hw/disk"
+	"repro/internal/sim"
+)
+
+// BootOp is one step of the OS boot sequence: think for Think, then read
+// Count sectors at LBA (Count == 0 means a pure compute step; Write marks
+// the few log/state writes boot performs).
+type BootOp struct {
+	LBA   int64
+	Count int64
+	Write bool
+	Think sim.Duration
+}
+
+// BootProfile describes the disk behaviour of an OS boot: how much is
+// read, in what pattern, and how much CPU work happens between reads.
+//
+// The default profile is calibrated to the paper's measurements: an Ubuntu
+// 14.04 boot reads ≈72 MB (§5.1: BMcast transferred 72 MB while booting)
+// and takes 29 s on bare metal, where most of the time is CPU/service
+// startup and the disk portion is seek-dominated small reads.
+type BootProfile struct {
+	TotalBytes  int64        // bytes read during boot
+	ReadSectors int64        // sectors per read
+	ClusterLen  int          // contiguous reads per cluster before seeking
+	SpanSectors int64        // disk region boot reads are scattered over
+	CPUTime     sim.Duration // total compute between reads
+	WriteEvery  int          // a small write every N reads (0 = none)
+	Seed        int64
+}
+
+// DefaultBootProfile returns the calibrated Ubuntu-14.04-like profile.
+func DefaultBootProfile() BootProfile {
+	return BootProfile{
+		TotalBytes:  72 << 20,
+		ReadSectors: 6, // 3 KB average reads (many small dependent reads)
+		ClusterLen:  32,
+		SpanSectors: (8 << 30) / disk.SectorSize, // first 8 GB of the image
+		CPUTime:     23 * sim.Second,
+		WriteEvery:  400,
+		Seed:        1,
+	}
+}
+
+// Trace generates the deterministic boot operation list.
+func (bp BootProfile) Trace() []BootOp {
+	rng := rand.New(rand.NewSource(bp.Seed))
+	nReads := int(bp.TotalBytes / (bp.ReadSectors * disk.SectorSize))
+	if nReads < 1 {
+		nReads = 1
+	}
+	think := sim.Duration(int64(bp.CPUTime) / int64(nReads))
+	ops := make([]BootOp, 0, nReads+nReads/max(bp.WriteEvery, 1))
+	var clusterBase int64
+	for i := 0; i < nReads; i++ {
+		if i%bp.ClusterLen == 0 {
+			limit := bp.SpanSectors - int64(bp.ClusterLen)*bp.ReadSectors
+			clusterBase = rng.Int63n(limit/bp.ReadSectors) * bp.ReadSectors
+		}
+		lba := clusterBase + int64(i%bp.ClusterLen)*bp.ReadSectors
+		ops = append(ops, BootOp{LBA: lba, Count: bp.ReadSectors, Think: think})
+		if bp.WriteEvery > 0 && i%bp.WriteEvery == bp.WriteEvery-1 {
+			// Boot-time log/state writes land just past the read span.
+			wlba := bp.SpanSectors + rng.Int63n(1<<10)*bp.ReadSectors
+			ops = append(ops, BootOp{LBA: wlba, Count: bp.ReadSectors, Write: true})
+		}
+	}
+	return ops
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+// Package guest models an unmodified guest operating system: block-device
+// drivers that program the IDE/AHCI controllers exactly as real minimal
+// drivers do (task files, PRD tables, command lists — all through the I/O
+// space, so a mediator's taps see every access), a boot sequence driven by
+// a deterministic read trace, and the execution surface workloads run on.
+//
+// OS transparency is the point: the same driver code runs on bare metal,
+// under BMcast (where its register traffic is mediated), and under KVM
+// pass-through, without knowing which.
+package guest
+
+import (
+	"fmt"
+
+	"repro/internal/hw/disk"
+	"repro/internal/sim"
+)
+
+// MaxTransferSectors is the largest single driver command (1 MB), matching
+// typical block-layer segmentation.
+const MaxTransferSectors = 2048
+
+// BlockDriver is the guest kernel's storage driver interface.
+type BlockDriver interface {
+	// Init probes and initializes the device; it must be called once
+	// before I/O.
+	Init(p *sim.Proc) error
+	// ReadSectors reads count sectors at lba. With discard=true the data
+	// is not materialized into guest memory (the caller will not look at
+	// it) and nil is returned on success.
+	ReadSectors(p *sim.Proc, lba, count int64, discard bool) ([]byte, error)
+	// WriteSectors writes the payload's sectors.
+	WriteSectors(p *sim.Proc, payload disk.Payload) error
+	// Flush issues a cache flush.
+	Flush(p *sim.Proc) error
+	// Name identifies the driver.
+	Name() string
+}
+
+// validateRange rejects transfers the drivers cannot express.
+func validateRange(lba, count int64) error {
+	if lba < 0 || count <= 0 {
+		return fmt.Errorf("guest: invalid transfer [%d,+%d)", lba, count)
+	}
+	if count > MaxTransferSectors {
+		return fmt.Errorf("guest: transfer of %d sectors exceeds driver max %d", count, MaxTransferSectors)
+	}
+	return nil
+}

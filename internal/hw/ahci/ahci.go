@@ -1,0 +1,535 @@
+// Package ahci models an AHCI host bus adapter at register and in-memory
+// structure level: one port with a 32-slot command list, command tables
+// with Register-H2D FISes and PRDTs in guest memory, write-1-clear
+// interrupt status, and interrupt enables.
+//
+// The AHCI mediator in the paper (2,285 LOC) performs I/O interpretation
+// against exactly these structures: it watches PxCI writes to learn which
+// slots were issued, parses the command FIS in guest memory for the
+// LBA/count/direction, and reads the PRDT for the guest DMA buffers. This
+// model keeps those structures as real bytes in simulated guest memory so
+// the mediator genuinely parses them.
+package ahci
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/hw/disk"
+	hwio "repro/internal/hw/io"
+	"repro/internal/hw/mem"
+	"repro/internal/sim"
+)
+
+// Global HBA register offsets.
+const (
+	RegCAP = 0x00
+	RegGHC = 0x04
+	RegIS  = 0x08
+	RegPI  = 0x0C
+)
+
+// GHC bits.
+const (
+	GHCInterruptEnable = 1 << 1
+	GHCAHCIEnable      = 1 << 31
+)
+
+// PortBase is the offset of port 0's register bank; each port is
+// PortSpan bytes.
+const (
+	PortBase = 0x100
+	PortSpan = 0x80
+)
+
+// Port register offsets (from the port's bank).
+const (
+	PxCLB  = 0x00
+	PxCLBU = 0x04
+	PxFB   = 0x08
+	PxFBU  = 0x0C
+	PxIS   = 0x10
+	PxIE   = 0x14
+	PxCMD  = 0x18
+	PxTFD  = 0x20
+	PxSIG  = 0x24
+	PxSSTS = 0x28
+	PxSERR = 0x30
+	PxSACT = 0x34
+	PxCI   = 0x38
+)
+
+// PxCMD bits.
+const (
+	CmdST  = 1 << 0 // start processing the command list
+	CmdFRE = 1 << 4 // FIS receive enable
+	CmdFR  = 1 << 14
+	CmdCR  = 1 << 15
+)
+
+// PxIS bits.
+const (
+	ISDHRS = 1 << 0 // device-to-host register FIS (command completion)
+	ISTFES = 1 << 30
+)
+
+// Task-file data (PxTFD) status bits mirror the ATA status register.
+const (
+	TFDBusy = 1 << 7
+	TFDDRQ  = 1 << 3
+	TFDErr  = 1 << 0
+)
+
+// NumSlots is the command-list depth.
+const NumSlots = 32
+
+// Structure sizes in guest memory.
+const (
+	CmdHeaderSize = 32
+	CmdTableFIS   = 0x00 // CFIS offset within the command table
+	CmdTablePRDT  = 0x80 // PRDT offset within the command table
+	PRDTEntrySize = 16
+	FISRegH2D     = 0x27
+)
+
+// ATA commands the HBA model executes.
+const (
+	CmdReadDMAExt  = 0x25
+	CmdWriteDMAExt = 0x35
+	CmdFlushCache  = 0xE7
+	CmdIdentify    = 0xEC
+)
+
+// HBA is a single-port AHCI controller attached to one drive.
+type HBA struct {
+	Name string
+
+	k      *sim.Kernel
+	memory *mem.Memory
+	drive  *disk.Device
+	IRQ    *hwio.IRQ
+
+	ghc uint32
+	is  uint32 // global interrupt status (bit 0 = port 0)
+
+	// Port 0 state.
+	clb  uint64
+	fb   uint64
+	pxis uint32
+	pxie uint32
+	cmd  uint32
+	tfd  uint32
+	ci   uint32
+	sact uint32
+
+	issueOrder []int // FIFO of issued slots awaiting the engine
+	execReady  *sim.Signal
+
+	// DMA content hints keyed by buffer address (see SetNextDMA).
+	hints map[int64]dmaHint
+
+	// CmdLog counts executed ATA commands by opcode.
+	CmdLog map[uint8]int64
+	// SlotsIssued counts command issues (PxCI bits set).
+	SlotsIssued int64
+}
+
+// New creates an HBA in front of drive. Register it with RegisterRegion.
+func New(k *sim.Kernel, name string, drive *disk.Device, memory *mem.Memory, irq *hwio.IRQ) *HBA {
+	h := &HBA{
+		Name:      name,
+		k:         k,
+		memory:    memory,
+		drive:     drive,
+		IRQ:       irq,
+		tfd:       0x50, // DRDY, not busy
+		execReady: k.NewSignal(name + ".exec"),
+		CmdLog:    make(map[uint8]int64),
+		hints:     make(map[int64]dmaHint),
+	}
+	k.Spawn(name+".engine", h.engine)
+	return h
+}
+
+// Drive exposes the attached disk device.
+func (h *HBA) Drive() *disk.Device { return h.drive }
+
+// ABAR is the conventional MMIO base the model registers at.
+const ABAR = 0xF000_0000
+
+// RegisterRegion registers the HBA's MMIO bank in ios and returns the
+// region name for tap installation.
+func (h *HBA) RegisterRegion(ios *hwio.Space) string {
+	name := h.Name + ".abar"
+	ios.Register(name, hwio.MMIO, ABAR, PortBase+PortSpan, h)
+	return name
+}
+
+// IORead implements io.Handler.
+func (h *HBA) IORead(_ *sim.Proc, off int64, _ int) uint64 {
+	switch off {
+	case RegCAP:
+		return uint64(NumSlots-1)<<8 | 1<<30 // slots, 64-bit addressing
+	case RegGHC:
+		return uint64(h.ghc)
+	case RegIS:
+		return uint64(h.is)
+	case RegPI:
+		return 1 // one port
+	}
+	if off < PortBase {
+		return 0
+	}
+	switch off - PortBase {
+	case PxCLB:
+		return uint64(uint32(h.clb))
+	case PxCLBU:
+		return h.clb >> 32
+	case PxFB:
+		return uint64(uint32(h.fb))
+	case PxFBU:
+		return h.fb >> 32
+	case PxIS:
+		return uint64(h.pxis)
+	case PxIE:
+		return uint64(h.pxie)
+	case PxCMD:
+		return uint64(h.cmd)
+	case PxTFD:
+		return uint64(h.tfd)
+	case PxSIG:
+		return 0x0101 // SATA drive signature
+	case PxSSTS:
+		return 0x133 // device present, Gen3, active
+	case PxSERR:
+		return 0
+	case PxSACT:
+		return uint64(h.sact)
+	case PxCI:
+		return uint64(h.ci)
+	}
+	return 0
+}
+
+// IOWrite implements io.Handler.
+func (h *HBA) IOWrite(_ *sim.Proc, off int64, _ int, v uint64) {
+	switch off {
+	case RegGHC:
+		h.ghc = uint32(v)
+		return
+	case RegIS:
+		h.is &^= uint32(v) // write 1 to clear
+		return
+	}
+	if off < PortBase {
+		return
+	}
+	switch off - PortBase {
+	case PxCLB:
+		h.clb = h.clb&^0xFFFFFFFF | v&0xFFFFFFFF
+	case PxCLBU:
+		h.clb = h.clb&0xFFFFFFFF | v<<32
+	case PxFB:
+		h.fb = h.fb&^0xFFFFFFFF | v&0xFFFFFFFF
+	case PxFBU:
+		h.fb = h.fb&0xFFFFFFFF | v<<32
+	case PxIS:
+		h.pxis &^= uint32(v) // write 1 to clear
+	case PxIE:
+		h.pxie = uint32(v)
+	case PxCMD:
+		h.cmd = uint32(v)
+		if h.cmd&CmdST != 0 {
+			h.cmd |= CmdCR
+		} else {
+			h.cmd &^= CmdCR
+		}
+		if h.cmd&CmdFRE != 0 {
+			h.cmd |= CmdFR
+		} else {
+			h.cmd &^= CmdFR
+		}
+	case PxCI:
+		h.issueSlots(uint32(v))
+	case PxSACT:
+		h.sact |= uint32(v)
+	}
+}
+
+// issueSlots accepts newly set CI bits in FIFO bit order.
+func (h *HBA) issueSlots(v uint32) {
+	if h.cmd&CmdST == 0 {
+		return // command processing not started
+	}
+	newBits := v &^ h.ci
+	h.ci |= v
+	for slot := 0; slot < NumSlots; slot++ {
+		if newBits&(1<<slot) != 0 {
+			h.issueOrder = append(h.issueOrder, slot)
+			h.SlotsIssued++
+		}
+	}
+	if newBits != 0 {
+		h.execReady.Broadcast()
+	}
+}
+
+// CmdHeader is the decoded 32-byte command-list entry.
+type CmdHeader struct {
+	FISLen int  // command FIS length in dwords
+	Write  bool // direction: host-to-device
+	PRDTL  int  // PRDT entry count
+	CTBA   uint64
+	PRDBC  uint32
+}
+
+// ReadCmdHeader decodes slot's header from the command list at clb.
+func ReadCmdHeader(m *mem.Memory, clb uint64, slot int) CmdHeader {
+	b := m.Read(int64(clb)+int64(slot)*CmdHeaderSize, CmdHeaderSize)
+	dw0 := binary.LittleEndian.Uint32(b[0:])
+	return CmdHeader{
+		FISLen: int(dw0 & 0x1F),
+		Write:  dw0&(1<<6) != 0,
+		PRDTL:  int(dw0 >> 16),
+		PRDBC:  binary.LittleEndian.Uint32(b[4:]),
+		CTBA:   uint64(binary.LittleEndian.Uint32(b[8:])) | uint64(binary.LittleEndian.Uint32(b[12:]))<<32,
+	}
+}
+
+// WriteCmdHeader encodes a header into the command list.
+func WriteCmdHeader(m *mem.Memory, clb uint64, slot int, hd CmdHeader) {
+	b := make([]byte, CmdHeaderSize)
+	dw0 := uint32(hd.FISLen&0x1F) | uint32(hd.PRDTL)<<16
+	if hd.Write {
+		dw0 |= 1 << 6
+	}
+	binary.LittleEndian.PutUint32(b[0:], dw0)
+	binary.LittleEndian.PutUint32(b[4:], hd.PRDBC)
+	binary.LittleEndian.PutUint32(b[8:], uint32(hd.CTBA))
+	binary.LittleEndian.PutUint32(b[12:], uint32(hd.CTBA>>32))
+	m.Write(int64(clb)+int64(slot)*CmdHeaderSize, b)
+}
+
+// FIS is the decoded Register H2D FIS.
+type FIS struct {
+	Command uint8
+	LBA     int64
+	Count   int64
+}
+
+// ReadFIS decodes the command FIS from a command table.
+func ReadFIS(m *mem.Memory, ctba uint64) (FIS, error) {
+	b := m.Read(int64(ctba)+CmdTableFIS, 20)
+	if b[0] != FISRegH2D {
+		return FIS{}, fmt.Errorf("ahci: not a Register H2D FIS: %#x", b[0])
+	}
+	f := FIS{Command: b[2]}
+	f.LBA = int64(b[4]) | int64(b[5])<<8 | int64(b[6])<<16 |
+		int64(b[8])<<24 | int64(b[9])<<32 | int64(b[10])<<40
+	f.Count = int64(b[12]) | int64(b[13])<<8
+	if f.Count == 0 {
+		f.Count = 65536
+	}
+	return f, nil
+}
+
+// WriteFIS encodes a Register H2D FIS into a command table.
+func WriteFIS(m *mem.Memory, ctba uint64, f FIS) {
+	b := make([]byte, 20)
+	b[0] = FISRegH2D
+	b[1] = 1 << 7 // C bit: command register update
+	b[2] = f.Command
+	b[4], b[5], b[6] = byte(f.LBA), byte(f.LBA>>8), byte(f.LBA>>16)
+	b[7] = 1 << 6 // LBA mode
+	b[8], b[9], b[10] = byte(f.LBA>>24), byte(f.LBA>>32), byte(f.LBA>>40)
+	b[12], b[13] = byte(f.Count), byte(f.Count>>8)
+	m.Write(int64(ctba)+CmdTableFIS, b)
+}
+
+// PRD is one decoded PRDT entry.
+type PRD struct {
+	Addr  int64
+	Bytes int64
+}
+
+// ReadPRDT decodes n PRDT entries from a command table.
+func ReadPRDT(m *mem.Memory, ctba uint64, n int) []PRD {
+	out := make([]PRD, 0, n)
+	for i := 0; i < n; i++ {
+		b := m.Read(int64(ctba)+CmdTablePRDT+int64(i)*PRDTEntrySize, PRDTEntrySize)
+		addr := int64(binary.LittleEndian.Uint32(b[0:])) | int64(binary.LittleEndian.Uint32(b[4:]))<<32
+		dbc := int64(binary.LittleEndian.Uint32(b[12:])&0x3FFFFF) + 1 // 0-based
+		out = append(out, PRD{Addr: addr, Bytes: dbc})
+	}
+	return out
+}
+
+// WritePRDT encodes PRDT entries into a command table.
+func WritePRDT(m *mem.Memory, ctba uint64, prds []PRD) {
+	for i, pe := range prds {
+		b := make([]byte, PRDTEntrySize)
+		binary.LittleEndian.PutUint32(b[0:], uint32(pe.Addr))
+		binary.LittleEndian.PutUint32(b[4:], uint32(pe.Addr>>32))
+		binary.LittleEndian.PutUint32(b[12:], uint32(pe.Bytes-1)&0x3FFFFF)
+		m.Write(int64(ctba)+CmdTablePRDT+int64(i)*PRDTEntrySize, b)
+	}
+}
+
+// dmaHint is a DMA content annotation: src supplies write data; discard
+// marks read data as not-to-be-materialized.
+type dmaHint struct {
+	src     disk.SectorSource
+	discard bool
+}
+
+// SetNextDMA annotates the DMA buffer at bufAddr, exactly as
+// ide.Controller.SetNextDMA does: a simulation affordance keyed by buffer
+// address so guest and VMM hints never collide.
+func (h *HBA) SetNextDMA(bufAddr int64, src disk.SectorSource, discard bool) {
+	h.hints[bufAddr] = dmaHint{src: src, discard: discard}
+}
+
+// TakeHintAt removes and returns the DMA annotation for bufAddr, for
+// mediators that swallow a command issue and replay it later.
+func (h *HBA) TakeHintAt(bufAddr int64) (src disk.SectorSource, discard, armed bool) {
+	hint, ok := h.hints[bufAddr]
+	if !ok {
+		return nil, false, false
+	}
+	delete(h.hints, bufAddr)
+	return hint.src, hint.discard, true
+}
+
+// engine processes issued slots in FIFO order.
+func (h *HBA) engine(p *sim.Proc) {
+	for {
+		p.WaitCond(h.execReady, func() bool { return len(h.issueOrder) > 0 })
+		slot := h.issueOrder[0]
+		h.issueOrder = h.issueOrder[1:]
+		h.execute(p, slot)
+	}
+}
+
+func (h *HBA) execute(p *sim.Proc, slot int) {
+	hd := ReadCmdHeader(h.memory, h.clb, slot)
+	fis, err := ReadFIS(h.memory, hd.CTBA)
+	if err != nil {
+		h.fault(slot)
+		return
+	}
+	h.CmdLog[fis.Command]++
+	h.tfd |= TFDBusy
+	var hintSrc disk.SectorSource
+	var discard bool
+	if prds := ReadPRDT(h.memory, hd.CTBA, hd.PRDTL); len(prds) > 0 {
+		hintSrc, discard, _ = h.TakeHintAt(prds[0].Addr)
+	}
+
+	switch fis.Command {
+	case CmdFlushCache:
+		p.Sleep(500 * sim.Microsecond)
+	case CmdIdentify:
+		p.Sleep(100 * sim.Microsecond)
+		// Identify data DMA'd to the first PRD buffer.
+		if prds := ReadPRDT(h.memory, hd.CTBA, hd.PRDTL); len(prds) > 0 {
+			h.memory.Write(prds[0].Addr, h.identifyData())
+		}
+	case CmdReadDMAExt, CmdWriteDMAExt:
+		if fis.LBA < 0 || fis.LBA+fis.Count > h.drive.Sectors {
+			h.fault(slot)
+			return
+		}
+		if hd.Write != (fis.Command == CmdWriteDMAExt) {
+			h.fault(slot)
+			return
+		}
+		if hd.Write {
+			src := hintSrc
+			if src == nil {
+				src = h.gatherPRD(hd, fis)
+			}
+			h.drive.Write(p, fis.LBA, fis.Count, src)
+		} else {
+			pl := h.drive.Read(p, fis.LBA, fis.Count)
+			if !discard {
+				h.scatterPRD(hd, pl)
+			}
+		}
+		hd.PRDBC = uint32(fis.Count * disk.SectorSize)
+		WriteCmdHeader(h.memory, h.clb, slot, hd)
+	default:
+		h.fault(slot)
+		return
+	}
+	h.completeSlot(slot, ISDHRS)
+}
+
+func (h *HBA) fault(slot int) {
+	h.tfd = 0x50 | TFDErr
+	h.completeSlot(slot, ISDHRS|ISTFES)
+}
+
+func (h *HBA) completeSlot(slot int, isBits uint32) {
+	if isBits&ISTFES == 0 {
+		h.tfd = 0x50
+	}
+	h.ci &^= 1 << slot
+	h.pxis |= isBits
+	if h.pxis&h.pxie != 0 && h.ghc&GHCInterruptEnable != 0 {
+		h.is |= 1 // port 0
+		h.IRQ.Raise()
+	}
+}
+
+func (h *HBA) identifyData() []byte {
+	b := make([]byte, 512)
+	put16 := func(word int, v uint16) { b[word*2] = byte(v); b[word*2+1] = byte(v >> 8) }
+	put16(83, 1<<10)
+	for i := 0; i < 4; i++ {
+		put16(100+i, uint16(h.drive.Sectors>>(16*i)))
+	}
+	return b
+}
+
+func (h *HBA) gatherPRD(hd CmdHeader, fis FIS) disk.SectorSource {
+	want := fis.Count * disk.SectorSize
+	buf := make([]byte, 0, want)
+	for _, pe := range ReadPRDT(h.memory, hd.CTBA, hd.PRDTL) {
+		take := pe.Bytes
+		if rem := want - int64(len(buf)); take > rem {
+			take = rem
+		}
+		buf = append(buf, h.memory.Read(pe.Addr, take)...)
+		if int64(len(buf)) >= want {
+			break
+		}
+	}
+	if int64(len(buf)) < want {
+		buf = append(buf, make([]byte, want-int64(len(buf)))...)
+	}
+	return disk.NewBuffer(fis.LBA, buf, h.Name+".dma")
+}
+
+func (h *HBA) scatterPRD(hd CmdHeader, pl disk.Payload) {
+	data := pl.Bytes()
+	for _, pe := range ReadPRDT(h.memory, hd.CTBA, hd.PRDTL) {
+		take := pe.Bytes
+		if rem := int64(len(data)); take > rem {
+			take = rem
+		}
+		h.memory.Write(pe.Addr, data[:take])
+		data = data[take:]
+		if len(data) == 0 {
+			break
+		}
+	}
+}
+
+// Busy reports whether a command is currently executing.
+func (h *HBA) Busy() bool { return h.tfd&TFDBusy != 0 || len(h.issueOrder) > 0 }
+
+// OutstandingCI reports the current command-issue bitmap.
+func (h *HBA) OutstandingCI() uint32 { return h.ci }
+
+// CLB reports the command-list base the driver programmed (for mediators).
+func (h *HBA) CLB() uint64 { return h.clb }

@@ -1,0 +1,181 @@
+package disk
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Params is the mechanical/timing model of a drive.
+type Params struct {
+	Sectors    int64
+	SeekMin    sim.Duration // track-to-track seek
+	SeekMax    sim.Duration // full-stroke seek
+	RotAvg     sim.Duration // average rotational latency (half a revolution)
+	ReadRate   float64      // sustained media read rate, bytes/sec
+	WriteRate  float64      // sustained media write rate, bytes/sec
+	CacheHit   sim.Duration // service time for a drive-cache hit
+	CacheSlots int          // number of recently-accessed ranges remembered
+	// WriteCacheSectors is the largest write absorbed by the drive's
+	// write-back cache: it completes at interface speed without moving
+	// the head, and the media commit happens during idle time (which the
+	// model treats as free). Larger writes go straight to the media.
+	WriteCacheSectors int64
+	// CacheAcceptRate is the interface rate for cache-absorbed writes.
+	CacheAcceptRate float64
+}
+
+// Constellation2 returns parameters for the Seagate Constellation.2
+// ST9500620NS (500 GB, 7200 rpm SATA) used in the paper's testbed,
+// calibrated to the paper's measured 116.6 MB/s read and 111.9 MB/s write.
+func Constellation2() Params {
+	return Params{
+		Sectors:    500 * 1000 * 1000 * 1000 / SectorSize,
+		SeekMin:    500 * sim.Microsecond,
+		SeekMax:    16 * sim.Millisecond,
+		RotAvg:     4167 * sim.Microsecond, // 7200 rpm: 8.33 ms/rev
+		ReadRate:   116.6e6,
+		WriteRate:  111.9e6,
+		CacheHit:   100 * sim.Microsecond,
+		CacheSlots: 32,
+		// 64 MB of drive cache absorbs sub-256 KB bursts.
+		WriteCacheSectors: 512,
+		CacheAcceptRate:   250e6,
+	}
+}
+
+// Device is a disk drive: the content Store plus the mechanism that
+// serializes and times accesses. All accesses go through a single arm.
+type Device struct {
+	Params
+	k     *sim.Kernel
+	store *Store
+	arm   *sim.Resource
+	head  int64 // LBA under the head after the last access
+
+	cache []cachedRange // LRU of recently read ranges (drive cache)
+
+	// Statistics.
+	BytesRead    metrics.Counter
+	BytesWritten metrics.Counter
+	Reads        metrics.Counter
+	Writes       metrics.Counter
+	Seeks        metrics.Counter
+	CacheHits    metrics.Counter
+	busyUntil    sim.Time
+}
+
+type cachedRange struct{ start, end int64 }
+
+// NewDevice returns a drive with the given parameters and an all-zero store.
+func NewDevice(k *sim.Kernel, name string, p Params) *Device {
+	return &Device{
+		Params: p,
+		k:      k,
+		store:  NewStore(p.Sectors),
+		arm:    sim.NewResource(k, name+".arm", 1),
+	}
+}
+
+// Store exposes the content state (for verification and direct setup).
+func (d *Device) Store() *Store { return d.store }
+
+// Head reports the LBA currently under the head.
+func (d *Device) Head() int64 { return d.head }
+
+// ServiceTime reports the mechanical time to access count sectors at lba
+// from the current head position, without performing the access.
+func (d *Device) ServiceTime(lba, count int64, write bool) sim.Duration {
+	if !write && d.inCache(lba, count) {
+		return d.CacheHit
+	}
+	if write && d.cachedWrite(count) {
+		return d.CacheHit + sim.RateDuration(count*SectorSize, d.CacheAcceptRate)
+	}
+	rate := d.ReadRate
+	if write {
+		rate = d.WriteRate
+	}
+	transfer := sim.RateDuration(count*SectorSize, rate)
+	if lba == d.head {
+		return transfer // streaming: no seek, no rotational delay
+	}
+	dist := lba - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	frac := float64(dist) / float64(d.Sectors)
+	seek := d.SeekMin + sim.Duration(float64(d.SeekMax-d.SeekMin)*math.Sqrt(frac))
+	return seek + d.RotAvg + transfer
+}
+
+// cachedWrite reports whether a write of count sectors is absorbed by the
+// drive's write-back cache.
+func (d *Device) cachedWrite(count int64) bool {
+	return d.WriteCacheSectors > 0 && count <= d.WriteCacheSectors
+}
+
+func (d *Device) inCache(lba, count int64) bool {
+	for _, c := range d.cache {
+		if lba >= c.start && lba+count <= c.end {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Device) remember(lba, count int64) {
+	if d.CacheSlots == 0 {
+		return
+	}
+	d.cache = append(d.cache, cachedRange{start: lba, end: lba + count})
+	if len(d.cache) > d.CacheSlots {
+		d.cache = d.cache[1:]
+	}
+}
+
+// access acquires the arm, spends the service time, applies fn, and updates
+// head position and stats.
+func (d *Device) access(p *sim.Proc, lba, count int64, write bool, fn func()) {
+	d.arm.Acquire(p)
+	t := d.ServiceTime(lba, count, write)
+	cached := (!write && d.inCache(lba, count)) || (write && d.cachedWrite(count))
+	if lba != d.head && !cached {
+		d.Seeks.Inc()
+	}
+	if cached {
+		d.CacheHits.Inc()
+	} else {
+		d.head = lba + count
+	}
+	p.Sleep(t)
+	fn()
+	if write {
+		d.Writes.Inc()
+		d.BytesWritten.Add(count * SectorSize)
+	} else {
+		d.Reads.Inc()
+		d.BytesRead.Add(count * SectorSize)
+		d.remember(lba, count)
+	}
+	d.busyUntil = p.Now()
+	d.arm.Release()
+}
+
+// Read performs a blocking read of count sectors at lba, returning the
+// content as a (possibly symbolic) payload.
+func (d *Device) Read(p *sim.Proc, lba, count int64) Payload {
+	var pl Payload
+	d.access(p, lba, count, false, func() { pl = d.store.ReadPayload(lba, count) })
+	return pl
+}
+
+// Write performs a blocking write of count sectors at lba with content from
+// src.
+func (d *Device) Write(p *sim.Proc, lba, count int64, src SectorSource) {
+	d.access(p, lba, count, true, func() { d.store.Write(lba, count, src) })
+}
+
+// Busy reports whether a command is being serviced right now.
+func (d *Device) Busy() bool { return d.arm.InUse() > 0 }

@@ -1,0 +1,54 @@
+package disk
+
+// Image is an OS disk image held by the storage server. It is itself a
+// SectorSource: BMcast's identical-block-address-space design means image
+// sector N is local-disk sector N, so the image's content function applies
+// directly to local LBAs.
+type Image struct {
+	ImageName string
+	Sectors   int64
+	src       SectorSource
+}
+
+// NewSynthImage returns an image of the given byte size with deterministic
+// synthetic content. Large experiment images use this form; no bulk data is
+// materialized.
+func NewSynthImage(name string, bytes int64, seed int64) *Image {
+	if bytes <= 0 || bytes%SectorSize != 0 {
+		panic("disk: image size must be a positive multiple of the sector size")
+	}
+	return &Image{
+		ImageName: name,
+		Sectors:   bytes / SectorSize,
+		src:       Synth{Seed: seed, Label: "image:" + name},
+	}
+}
+
+// NewLiteralImage returns an image holding the given bytes, padded to a
+// whole number of sectors. Correctness tests use this form to compare
+// deployed disks byte-for-byte.
+func NewLiteralImage(name string, data []byte) *Image {
+	buf := NewBuffer(0, data, "image:"+name)
+	return &Image{
+		ImageName: name,
+		Sectors:   int64(len(buf.Data) / SectorSize),
+		src:       buf,
+	}
+}
+
+// Fill produces image content for the requested absolute sectors.
+func (im *Image) Fill(lba int64, buf []byte) { im.src.Fill(lba, buf) }
+
+// Name identifies the image as a content source.
+func (im *Image) Name() string { return "image:" + im.ImageName }
+
+// Size reports the image size in bytes.
+func (im *Image) Size() int64 { return im.Sectors * SectorSize }
+
+// ReadAt materializes image content (for server-side protocol handling).
+func (im *Image) ReadAt(lba int64, buf []byte) { im.src.Fill(lba, buf) }
+
+// Payload returns a symbolic payload covering [lba, lba+count).
+func (im *Image) Payload(lba, count int64) Payload {
+	return Payload{LBA: lba, Count: count, Source: im}
+}

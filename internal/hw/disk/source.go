@@ -1,0 +1,147 @@
+// Package disk models a SATA hard drive: a sector-addressed content store
+// with provenance tracking and a mechanical timing model (seek, rotation,
+// media transfer, drive cache).
+//
+// Content is tracked by *source* rather than by materialized bytes so that
+// deploying a 32 GB image remains cheap: an extent of the local disk that
+// was filled by the background copy simply records "sectors [a,b) come from
+// image X". Sources produce bytes for any absolute LBA on demand, which
+// lets tests verify byte-exact deployment while performance runs stay
+// symbolic. Because BMcast uses the identical block address space on the
+// server image and the local disk (paper §3.1), a source's content is a
+// function of the absolute LBA, and writing a source to the disk at the
+// same LBA it was read from is exact.
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SectorSize is the logical block size in bytes.
+const SectorSize = 512
+
+// SectorSource produces disk content for absolute sector addresses.
+type SectorSource interface {
+	// Fill writes the content of sectors [lba, lba+len(buf)/SectorSize)
+	// into buf. len(buf) must be a multiple of SectorSize.
+	Fill(lba int64, buf []byte)
+	// Name identifies the source for provenance reports.
+	Name() string
+}
+
+// Zero is the all-zeroes source: the state of an empty (undeployed) disk.
+var Zero SectorSource = zeroSource{}
+
+type zeroSource struct{}
+
+func (zeroSource) Fill(_ int64, buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+func (zeroSource) Name() string { return "zero" }
+
+// Synth is a deterministic pseudo-random source: content is a pure function
+// of (Seed, LBA). Performance experiments use it for guest writes and large
+// images so that no bulk data is ever materialized unless read back.
+type Synth struct {
+	Seed  int64
+	Label string
+}
+
+// Fill generates the synthetic content of the requested sectors.
+func (s Synth) Fill(lba int64, buf []byte) {
+	if len(buf)%SectorSize != 0 {
+		panic("disk: Fill buffer not a multiple of the sector size")
+	}
+	for off := 0; off < len(buf); off += 8 {
+		cur := lba + int64(off/SectorSize)
+		x := mix(uint64(s.Seed), uint64(cur), uint64(off%SectorSize))
+		binary.LittleEndian.PutUint64(buf[off:], x)
+	}
+}
+
+func (s Synth) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return fmt.Sprintf("synth(%d)", s.Seed)
+}
+
+// mix is a splitmix64-style hash combining seed, sector, and offset.
+func mix(seed, lba, off uint64) uint64 {
+	x := seed ^ lba*0x9E3779B97F4A7C15 ^ off*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Buffer is a literal-bytes source anchored at a base LBA. Content outside
+// [Base, Base+len(Data)/SectorSize) is zero.
+type Buffer struct {
+	Base  int64
+	Data  []byte
+	Label string
+}
+
+// NewBuffer returns a literal source holding data at sector base. The data
+// is padded to a whole number of sectors.
+func NewBuffer(base int64, data []byte, label string) *Buffer {
+	n := (len(data) + SectorSize - 1) / SectorSize * SectorSize
+	padded := make([]byte, n)
+	copy(padded, data)
+	return &Buffer{Base: base, Data: padded, Label: label}
+}
+
+// Fill copies literal content for the requested sectors.
+func (b *Buffer) Fill(lba int64, buf []byte) {
+	if len(buf)%SectorSize != 0 {
+		panic("disk: Fill buffer not a multiple of the sector size")
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	srcStart := (lba - b.Base) * SectorSize
+	if srcStart >= int64(len(b.Data)) || srcStart+int64(len(buf)) <= 0 {
+		return
+	}
+	dstOff := int64(0)
+	if srcStart < 0 {
+		dstOff = -srcStart
+		srcStart = 0
+	}
+	copy(buf[dstOff:], b.Data[srcStart:])
+}
+
+func (b *Buffer) Name() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	return fmt.Sprintf("buffer(base=%d,%dB)", b.Base, len(b.Data))
+}
+
+// Payload describes data in flight between disk, controllers, network, and
+// memory: count sectors of content for absolute address LBA, provided by
+// Source. The simulation moves payloads by reference and materializes bytes
+// only when something inspects them.
+type Payload struct {
+	LBA    int64
+	Count  int64
+	Source SectorSource
+}
+
+// Bytes materializes the payload's content.
+func (p Payload) Bytes() []byte {
+	buf := make([]byte, p.Count*SectorSize)
+	if p.Source != nil {
+		p.Source.Fill(p.LBA, buf)
+	}
+	return buf
+}
+
+// Len reports the payload length in bytes.
+func (p Payload) Len() int64 { return p.Count * SectorSize }

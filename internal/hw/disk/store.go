@@ -1,0 +1,149 @@
+package disk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Extent is a half-open sector range [Start, End) whose content comes from
+// Source.
+type Extent struct {
+	Start, End int64
+	Source     SectorSource
+}
+
+func (e Extent) String() string {
+	return fmt.Sprintf("[%d,%d)=%s", e.Start, e.End, e.Source.Name())
+}
+
+// Store is the content state of a disk: a total, ordered, non-overlapping
+// cover of [0, Sectors) by extents. A fresh store is one zero extent — the
+// "all blocks empty" state of an undeployed local disk.
+type Store struct {
+	sectors int64
+	extents []Extent
+}
+
+// NewStore returns an all-zero store of the given size in sectors.
+func NewStore(sectors int64) *Store {
+	if sectors <= 0 {
+		panic("disk: store must have a positive sector count")
+	}
+	return &Store{
+		sectors: sectors,
+		extents: []Extent{{Start: 0, End: sectors, Source: Zero}},
+	}
+}
+
+// Sectors reports the store capacity in sectors.
+func (s *Store) Sectors() int64 { return s.sectors }
+
+func (s *Store) checkRange(lba, count int64) {
+	if lba < 0 || count <= 0 || lba+count > s.sectors {
+		panic(fmt.Sprintf("disk: range [%d,+%d) outside %d-sector store", lba, count, s.sectors))
+	}
+}
+
+// find returns the index of the extent containing lba.
+func (s *Store) find(lba int64) int {
+	return sort.Search(len(s.extents), func(i int) bool { return s.extents[i].End > lba })
+}
+
+// Write records that sectors [lba, lba+count) now have content from src.
+func (s *Store) Write(lba, count int64, src SectorSource) {
+	s.checkRange(lba, count)
+	end := lba + count
+	i := s.find(lba)
+	var out []Extent
+	out = append(out, s.extents[:i]...)
+	// Left remainder of the extent containing lba.
+	if e := s.extents[i]; e.Start < lba {
+		out = append(out, Extent{Start: e.Start, End: lba, Source: e.Source})
+	}
+	out = append(out, Extent{Start: lba, End: end, Source: src})
+	// Skip fully covered extents; keep the right remainder.
+	j := i
+	for j < len(s.extents) && s.extents[j].End <= end {
+		j++
+	}
+	if j < len(s.extents) && s.extents[j].Start < end {
+		e := s.extents[j]
+		out = append(out, Extent{Start: end, End: e.End, Source: e.Source})
+		j++
+	}
+	out = append(out, s.extents[j:]...)
+	s.extents = coalesce(out)
+}
+
+// coalesce merges adjacent extents with the same source. Sources produce
+// content by absolute LBA, so merging is always content-preserving.
+func coalesce(in []Extent) []Extent {
+	out := in[:0]
+	for _, e := range in {
+		if n := len(out); n > 0 && out[n-1].Source == e.Source && out[n-1].End == e.Start {
+			out[n-1].End = e.End
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ReadAt materializes the content of sectors [lba, lba+len(buf)/SectorSize)
+// into buf.
+func (s *Store) ReadAt(lba int64, buf []byte) {
+	if len(buf)%SectorSize != 0 {
+		panic("disk: ReadAt buffer not a multiple of the sector size")
+	}
+	count := int64(len(buf) / SectorSize)
+	s.checkRange(lba, count)
+	off := int64(0)
+	for count > 0 {
+		e := s.extents[s.find(lba)]
+		n := e.End - lba
+		if n > count {
+			n = count
+		}
+		e.Source.Fill(lba, buf[off*SectorSize:(off+n)*SectorSize])
+		lba += n
+		off += n
+		count -= n
+	}
+}
+
+// SourceAt reports the source providing the content of sector lba.
+func (s *Store) SourceAt(lba int64) SectorSource {
+	s.checkRange(lba, 1)
+	return s.extents[s.find(lba)].Source
+}
+
+// ReadPayload returns a payload for [lba, lba+count). When a single source
+// covers the whole range the payload stays symbolic; otherwise content is
+// materialized into a literal buffer.
+func (s *Store) ReadPayload(lba, count int64) Payload {
+	s.checkRange(lba, count)
+	i := s.find(lba)
+	if s.extents[i].End >= lba+count {
+		return Payload{LBA: lba, Count: count, Source: s.extents[i].Source}
+	}
+	buf := make([]byte, count*SectorSize)
+	s.ReadAt(lba, buf)
+	return Payload{LBA: lba, Count: count, Source: NewBuffer(lba, buf, "materialized")}
+}
+
+// Extents returns a copy of the extent list.
+func (s *Store) Extents() []Extent {
+	out := make([]Extent, len(s.extents))
+	copy(out, s.extents)
+	return out
+}
+
+// CountBySource reports the number of sectors attributed to each source
+// name — the provenance summary used by deployment verification.
+func (s *Store) CountBySource() map[string]int64 {
+	m := make(map[string]int64)
+	for _, e := range s.extents {
+		m[e.Source.Name()] += e.End - e.Start
+	}
+	return m
+}

@@ -1,0 +1,219 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreshStoreIsZero(t *testing.T) {
+	s := NewStore(100)
+	buf := make([]byte, 3*SectorSize)
+	s.ReadAt(10, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("fresh store not zero")
+		}
+	}
+	if len(s.Extents()) != 1 {
+		t.Fatalf("fresh store has %d extents, want 1", len(s.Extents()))
+	}
+}
+
+func TestWriteReadBack(t *testing.T) {
+	s := NewStore(100)
+	data := make([]byte, 2*SectorSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	s.Write(5, 2, NewBuffer(5, data, "t"))
+	got := make([]byte, 2*SectorSize)
+	s.ReadAt(5, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestWriteSplitsExtents(t *testing.T) {
+	s := NewStore(100)
+	src := Synth{Seed: 1}
+	s.Write(40, 20, src)
+	exts := s.Extents()
+	if len(exts) != 3 {
+		t.Fatalf("extents = %v, want zero|synth|zero", exts)
+	}
+	if exts[1].Start != 40 || exts[1].End != 60 {
+		t.Fatalf("middle extent = %v", exts[1])
+	}
+	if s.SourceAt(39) != Zero || s.SourceAt(40) != SectorSource(src) || s.SourceAt(60) != Zero {
+		t.Fatal("SourceAt boundaries wrong")
+	}
+}
+
+func TestOverwriteMiddle(t *testing.T) {
+	s := NewStore(100)
+	a, b := Synth{Seed: 1}, Synth{Seed: 2}
+	s.Write(0, 100, a)
+	s.Write(30, 10, b)
+	exts := s.Extents()
+	if len(exts) != 3 {
+		t.Fatalf("extents = %v", exts)
+	}
+	if s.SourceAt(29) != SectorSource(a) || s.SourceAt(30) != SectorSource(b) ||
+		s.SourceAt(39) != SectorSource(b) || s.SourceAt(40) != SectorSource(a) {
+		t.Fatal("overwrite boundaries wrong")
+	}
+}
+
+func TestCoalesceAdjacentSameSource(t *testing.T) {
+	s := NewStore(100)
+	src := Synth{Seed: 9}
+	s.Write(0, 10, src)
+	s.Write(10, 10, src)
+	s.Write(20, 10, src)
+	exts := s.Extents()
+	if len(exts) != 2 { // merged synth extent + trailing zero
+		t.Fatalf("extents not coalesced: %v", exts)
+	}
+	if exts[0].Start != 0 || exts[0].End != 30 {
+		t.Fatalf("merged extent = %v", exts[0])
+	}
+}
+
+func TestWriteSpanningManyExtents(t *testing.T) {
+	s := NewStore(100)
+	for i := int64(0); i < 10; i++ {
+		s.Write(i*10, 5, Synth{Seed: i})
+	}
+	big := Synth{Seed: 999}
+	s.Write(3, 90, big)
+	if s.SourceAt(3) != SectorSource(big) || s.SourceAt(92) != SectorSource(big) {
+		t.Fatal("spanning write did not cover range")
+	}
+	if s.SourceAt(2) == SectorSource(big) || s.SourceAt(93) == SectorSource(big) {
+		t.Fatal("spanning write leaked outside range")
+	}
+}
+
+func TestReadAcrossExtentBoundary(t *testing.T) {
+	s := NewStore(100)
+	left := NewBuffer(0, bytes.Repeat([]byte{0xAA}, SectorSize), "L")
+	right := NewBuffer(1, bytes.Repeat([]byte{0xBB}, SectorSize), "R")
+	s.Write(0, 1, left)
+	s.Write(1, 1, right)
+	buf := make([]byte, 2*SectorSize)
+	s.ReadAt(0, buf)
+	if buf[0] != 0xAA || buf[SectorSize] != 0xBB {
+		t.Fatal("cross-extent read mixed up content")
+	}
+}
+
+func TestReadPayloadSymbolicWhenSingleSource(t *testing.T) {
+	s := NewStore(100)
+	img := NewSynthImage("ubuntu", 100*SectorSize, 7)
+	s.Write(0, 100, img)
+	p := s.ReadPayload(10, 50)
+	if p.Source != SectorSource(img) {
+		t.Fatalf("payload source = %v, want image", p.Source.Name())
+	}
+}
+
+func TestReadPayloadMaterializesAcrossSources(t *testing.T) {
+	s := NewStore(100)
+	s.Write(0, 50, Synth{Seed: 1})
+	p := s.ReadPayload(40, 20) // spans synth and zero
+	want := make([]byte, 20*SectorSize)
+	s.ReadAt(40, want)
+	if !bytes.Equal(p.Bytes(), want) {
+		t.Fatal("materialized payload differs from ReadAt")
+	}
+}
+
+func TestCountBySource(t *testing.T) {
+	s := NewStore(100)
+	s.Write(0, 30, Synth{Seed: 1, Label: "a"})
+	s.Write(50, 10, Synth{Seed: 2, Label: "b"})
+	m := s.CountBySource()
+	if m["a"] != 30 || m["b"] != 10 || m["zero"] != 60 {
+		t.Fatalf("CountBySource = %v", m)
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	s := NewStore(10)
+	for _, f := range []func(){
+		func() { s.Write(-1, 1, Zero) },
+		func() { s.Write(5, 6, Zero) },
+		func() { s.ReadAt(9, make([]byte, 2*SectorSize)) },
+		func() { s.SourceAt(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestStoreMatchesReferenceProperty performs random writes against both the
+// extent store and a flat reference byte array and checks they agree.
+func TestStoreMatchesReferenceProperty(t *testing.T) {
+	const sectors = 64
+	type op struct {
+		LBA   uint8
+		Count uint8
+		Seed  int64
+	}
+	f := func(ops []op) bool {
+		s := NewStore(sectors)
+		ref := make([]byte, sectors*SectorSize)
+		for _, o := range ops {
+			lba := int64(o.LBA) % sectors
+			count := int64(o.Count)%8 + 1
+			if lba+count > sectors {
+				count = sectors - lba
+			}
+			src := Synth{Seed: o.Seed}
+			s.Write(lba, count, src)
+			src.Fill(lba, ref[lba*SectorSize:(lba+count)*SectorSize])
+		}
+		got := make([]byte, sectors*SectorSize)
+		s.ReadAt(0, got)
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtentInvariantProperty checks the cover invariant after random writes:
+// extents are sorted, non-overlapping, contiguous, and span [0, Sectors).
+func TestExtentInvariantProperty(t *testing.T) {
+	f := func(writes []uint16) bool {
+		s := NewStore(256)
+		for i, w := range writes {
+			lba := int64(w) % 256
+			count := int64(w)/256%16 + 1
+			if lba+count > 256 {
+				count = 256 - lba
+			}
+			s.Write(lba, count, Synth{Seed: int64(i % 3)})
+		}
+		exts := s.Extents()
+		if exts[0].Start != 0 || exts[len(exts)-1].End != 256 {
+			return false
+		}
+		for i := 1; i < len(exts); i++ {
+			if exts[i].Start != exts[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

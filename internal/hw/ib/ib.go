@@ -1,0 +1,142 @@
+// Package ib models an InfiniBand fabric at the verbs level: host channel
+// adapters posting RDMA operations to queue pairs, completion polling, and
+// a switched fabric with link-rate serialization.
+//
+// The paper's testbed uses Mellanox MT26428 4X QDR HCAs (32 Gb/s signaling,
+// ≈3.2 GB/s payload after 8b/10b) behind a Grid Director switch. BMcast
+// leaves the HCA untouched (direct hardware access), so its latency stays
+// bare-metal; the KVM baseline assigns the device directly but still pays
+// IOMMU translation and interrupt-path costs, which the ExtraLatency dial
+// models (paper §5.5.3: +23.6% latency, equal saturated throughput).
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fabric is the InfiniBand subnet: switch latency plus per-HCA link state.
+type Fabric struct {
+	k *sim.Kernel
+	// SwitchLatency is the per-hop forwarding latency.
+	SwitchLatency sim.Duration
+	// LinkRate is the per-link payload bandwidth in bytes/sec.
+	LinkRate float64
+	// BaseLatency is the end-to-end zero-byte latency (HCA processing on
+	// both sides plus propagation).
+	BaseLatency sim.Duration
+
+	hcas []*HCA
+}
+
+// QDR4X returns the testbed fabric: 4X QDR through one switch.
+func QDR4X(k *sim.Kernel) *Fabric {
+	return &Fabric{
+		k:             k,
+		SwitchLatency: 100 * sim.Nanosecond,
+		LinkRate:      3.2e9,
+		BaseLatency:   1300 * sim.Nanosecond,
+	}
+}
+
+// HCA is a host channel adapter.
+type HCA struct {
+	Name   string
+	Node   int
+	fabric *Fabric
+
+	// ExtraLatency is added to every operation by the virtualization
+	// platform (IOMMU translation, interrupt remapping). Zero on bare
+	// metal and under BMcast.
+	ExtraLatency sim.Duration
+
+	txBusyUntil sim.Time
+	cq          *sim.Queue[completion]
+
+	Ops       metrics.Counter
+	BytesSent metrics.Counter
+}
+
+type completion struct {
+	bytes int64
+	at    sim.Time
+}
+
+// NewHCA attaches a new adapter to the fabric.
+func (f *Fabric) NewHCA(name string) *HCA {
+	h := &HCA{
+		Name:   name,
+		Node:   len(f.hcas),
+		fabric: f,
+		cq:     sim.NewQueue[completion](f.k, name+".cq"),
+	}
+	f.hcas = append(f.hcas, h)
+	return h
+}
+
+// HCA returns the adapter at node index i.
+func (f *Fabric) HCA(i int) *HCA { return f.hcas[i] }
+
+// Size reports the number of attached adapters.
+func (f *Fabric) Size() int { return len(f.hcas) }
+
+// opTime computes serialization start/end on the sender link.
+func (h *HCA) opTime(bytes int64) (start, end sim.Time) {
+	now := h.fabric.k.Now()
+	start = now
+	if h.txBusyUntil > start {
+		start = h.txBusyUntil
+	}
+	end = start.Add(sim.RateDuration(bytes, h.fabric.LinkRate))
+	h.txBusyUntil = end
+	return start, end
+}
+
+// Post enqueues an RDMA write of the given size toward dst without
+// blocking; a completion is delivered to the *destination* HCA's
+// completion queue when the data lands, and to the sender's when the
+// local ACK returns. This models pipelined ib_rdma_bw behaviour.
+func (h *HCA) Post(dst *HCA, bytes int64) {
+	f := h.fabric
+	_, end := h.opTime(bytes)
+	arrive := end.Add(f.BaseLatency + f.SwitchLatency + h.ExtraLatency + dst.ExtraLatency)
+	h.Ops.Inc()
+	h.BytesSent.Add(bytes)
+	f.k.At(arrive, func() {
+		dst.cq.Push(completion{bytes: bytes, at: f.k.Now()})
+	})
+	f.k.At(arrive+sim.Time(f.BaseLatency/2), func() {
+		h.cq.Push(completion{bytes: bytes, at: f.k.Now()})
+	})
+}
+
+// PollCQ blocks until one completion is available on this HCA.
+func (h *HCA) PollCQ(p *sim.Proc) {
+	h.cq.Pop(p)
+}
+
+// RDMAWrite performs one blocking RDMA write: post, then wait for the
+// local completion. This is the ib_rdma_lat measurement path.
+func (h *HCA) RDMAWrite(p *sim.Proc, dst *HCA, bytes int64) sim.Duration {
+	start := p.Now()
+	h.Post(dst, bytes)
+	h.PollCQ(p)
+	return p.Now().Sub(start)
+}
+
+// Send performs a blocking send to dst and wakes the receiver's CQ; used
+// by the MPI point-to-point layer.
+func (h *HCA) Send(p *sim.Proc, dst *HCA, bytes int64) {
+	h.Post(dst, bytes)
+	h.PollCQ(p)
+}
+
+// RecvWait blocks until a message lands in this HCA's completion queue.
+func (h *HCA) RecvWait(p *sim.Proc) { h.cq.Pop(p) }
+
+// Pending reports queued completions (useful in tests).
+func (h *HCA) Pending() int { return h.cq.Len() }
+
+func (h *HCA) String() string { return fmt.Sprintf("hca(%s,node=%d)", h.Name, h.Node) }

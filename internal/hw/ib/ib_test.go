@@ -1,0 +1,84 @@
+package ib
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRDMAWriteLatency(t *testing.T) {
+	k := sim.New(1)
+	f := QDR4X(k)
+	a, b := f.NewHCA("a"), f.NewHCA("b")
+	var lat sim.Duration
+	k.Spawn("p", func(p *sim.Proc) { lat = a.RDMAWrite(p, b, 64<<10) })
+	k.Run()
+	// 64 KB at 3.2 GB/s = 20.48 µs + base/switch latencies.
+	if lat < 20*sim.Microsecond || lat > 25*sim.Microsecond {
+		t.Fatalf("RDMA latency = %v, want ~22µs", lat)
+	}
+}
+
+func TestExtraLatencyAdds(t *testing.T) {
+	k := sim.New(1)
+	f := QDR4X(k)
+	a, b := f.NewHCA("a"), f.NewHCA("b")
+	var base, extra sim.Duration
+	k.Spawn("p", func(p *sim.Proc) {
+		base = a.RDMAWrite(p, b, 4096)
+		a.ExtraLatency, b.ExtraLatency = 2*sim.Microsecond, 2*sim.Microsecond
+		extra = a.RDMAWrite(p, b, 4096)
+	})
+	k.Run()
+	if extra-base != 4*sim.Microsecond {
+		t.Fatalf("extra latency delta = %v, want 4µs", extra-base)
+	}
+}
+
+func TestPipelinedPostsSerializeOnLink(t *testing.T) {
+	k := sim.New(1)
+	f := QDR4X(k)
+	a, b := f.NewHCA("a"), f.NewHCA("b")
+	var elapsed sim.Duration
+	const n = 100
+	k.Spawn("p", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			a.Post(b, 64<<10)
+		}
+		for i := 0; i < n; i++ {
+			a.PollCQ(p)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	k.Run()
+	rate := float64(n*64<<10) / elapsed.Seconds()
+	if rate < 3.0e9 || rate > 3.3e9 {
+		t.Fatalf("pipelined rate = %.2f GB/s, want ~3.2 (link rate)", rate/1e9)
+	}
+}
+
+func TestSendRecvPair(t *testing.T) {
+	k := sim.New(1)
+	f := QDR4X(k)
+	a, b := f.NewHCA("a"), f.NewHCA("b")
+	if f.Size() != 2 || f.HCA(1) != b {
+		t.Fatal("fabric registry wrong")
+	}
+	got := false
+	k.Spawn("recv", func(p *sim.Proc) {
+		b.RecvWait(p)
+		got = true
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		a.Send(p, b, 4096)
+	})
+	k.Run()
+	if !got {
+		t.Fatal("receiver never woke")
+	}
+	if a.Ops.Value() != 1 || a.BytesSent.Value() != 4096 {
+		t.Fatal("sender stats wrong")
+	}
+}

@@ -1,0 +1,212 @@
+// Package io models the machine's I/O register space: PIO ports and MMIO
+// regions exposed by devices, with interception taps.
+//
+// A tap is the simulation's equivalent of a VM exit on a trapped register
+// access: while BMcast virtualizes, its device mediators install taps on
+// the storage controller regions (PIO exits, or EPT-unmapped MMIO pages);
+// de-virtualization removes the taps, after which guest accesses reach the
+// device directly with zero added cost — exactly the paper's "all hardware
+// accesses pass through the VMM" end state.
+package io
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind distinguishes port I/O from memory-mapped I/O.
+type Kind int
+
+const (
+	// PIO is x86 port-mapped I/O (IN/OUT instructions).
+	PIO Kind = iota
+	// MMIO is memory-mapped I/O.
+	MMIO
+)
+
+func (k Kind) String() string {
+	if k == PIO {
+		return "pio"
+	}
+	return "mmio"
+}
+
+// Handler is a device's register bank.
+type Handler interface {
+	// IORead returns the value of the size-byte register at off.
+	IORead(p *sim.Proc, off int64, size int) uint64
+	// IOWrite stores v into the size-byte register at off.
+	IOWrite(p *sim.Proc, off int64, size int, v uint64)
+}
+
+// Tap intercepts accesses to a region, as a VMM trap handler would. A tap
+// that reports handled=false passes the access through to the device.
+type Tap interface {
+	// TapRead intercepts a register read.
+	TapRead(p *sim.Proc, r *Region, off int64, size int) (v uint64, handled bool)
+	// TapWrite intercepts a register write.
+	TapWrite(p *sim.Proc, r *Region, off int64, size int, v uint64) (handled bool)
+}
+
+// Region is a registered range of the I/O space.
+type Region struct {
+	Name    string
+	Kind    Kind
+	Base    int64
+	Size    int64
+	handler Handler
+	tap     Tap
+}
+
+func (r *Region) String() string {
+	return fmt.Sprintf("%s %s [%#x,+%#x)", r.Name, r.Kind, r.Base, r.Size)
+}
+
+// Device performs an untapped access directly against the device handler.
+// VMM-side code uses it: the hypervisor's own device accesses do not trap.
+func (r *Region) Device() Handler { return r.handler }
+
+// Space is the I/O address space of one machine. PIO and MMIO live in
+// separate address ranges.
+type Space struct {
+	regions [2][]*Region // indexed by Kind, sorted by Base
+
+	// Traps counts tapped accesses (≈ VM exits due to I/O) and Direct
+	// counts untapped guest accesses.
+	Traps  int64
+	Direct int64
+}
+
+// NewSpace returns an empty I/O space.
+func NewSpace() *Space { return &Space{} }
+
+// Register adds a region backed by h. Overlapping regions of the same kind
+// panic.
+func (s *Space) Register(name string, kind Kind, base, size int64, h Handler) *Region {
+	if size <= 0 {
+		panic("io: region size must be positive")
+	}
+	r := &Region{Name: name, Kind: kind, Base: base, Size: size, handler: h}
+	list := s.regions[kind]
+	for _, other := range list {
+		if base < other.Base+other.Size && other.Base < base+size {
+			panic(fmt.Sprintf("io: region %v overlaps %v", r, other))
+		}
+	}
+	list = append(list, r)
+	sort.Slice(list, func(i, j int) bool { return list[i].Base < list[j].Base })
+	s.regions[kind] = list
+	return r
+}
+
+// Find locates the region of the given kind containing addr, or nil.
+func (s *Space) Find(kind Kind, addr int64) *Region {
+	list := s.regions[kind]
+	i := sort.Search(len(list), func(i int) bool { return list[i].Base+list[i].Size > addr })
+	if i < len(list) && addr >= list[i].Base {
+		return list[i]
+	}
+	return nil
+}
+
+// Lookup returns the region registered under name, or nil.
+func (s *Space) Lookup(name string) *Region {
+	for _, list := range s.regions {
+		for _, r := range list {
+			if r.Name == name {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// SetTap installs (or, with nil, removes) a tap on the named region. It
+// panics if the region does not exist.
+func (s *Space) SetTap(name string, t Tap) {
+	r := s.Lookup(name)
+	if r == nil {
+		panic("io: SetTap on unknown region " + name)
+	}
+	r.tap = t
+}
+
+// Tapped reports whether the named region currently has a tap.
+func (s *Space) Tapped(name string) bool {
+	r := s.Lookup(name)
+	return r != nil && r.tap != nil
+}
+
+// Read performs a guest read of the size-byte register at addr.
+func (s *Space) Read(p *sim.Proc, kind Kind, addr int64, size int) uint64 {
+	r := s.Find(kind, addr)
+	if r == nil {
+		// Reads of unimplemented registers float high, as on real buses.
+		return (1 << (8 * uint(size))) - 1
+	}
+	off := addr - r.Base
+	if r.tap != nil {
+		s.Traps++
+		if v, handled := r.tap.TapRead(p, r, off, size); handled {
+			return v
+		}
+	} else {
+		s.Direct++
+	}
+	return r.handler.IORead(p, off, size)
+}
+
+// Write performs a guest write of the size-byte register at addr.
+func (s *Space) Write(p *sim.Proc, kind Kind, addr int64, size int, v uint64) {
+	r := s.Find(kind, addr)
+	if r == nil {
+		return // writes to unimplemented registers are ignored
+	}
+	off := addr - r.Base
+	if r.tap != nil {
+		s.Traps++
+		if r.tap.TapWrite(p, r, off, size, v) {
+			return
+		}
+	} else {
+		s.Direct++
+	}
+	r.handler.IOWrite(p, off, size, v)
+}
+
+// Regions returns every registered region, PIO first, sorted by base.
+func (s *Space) Regions() []*Region {
+	var out []*Region
+	out = append(out, s.regions[PIO]...)
+	out = append(out, s.regions[MMIO]...)
+	return out
+}
+
+// IRQ is a device interrupt line. BMcast does not virtualize interrupt
+// controllers, so interrupts always reach the guest's registered handler
+// directly; mediators instead make the device suppress interrupt
+// generation when needed (paper §3.2).
+type IRQ struct {
+	k       *sim.Kernel
+	Name    string
+	handler func()
+	Raised  int64
+}
+
+// NewIRQ returns an interrupt line delivered through kernel k.
+func NewIRQ(k *sim.Kernel, name string) *IRQ { return &IRQ{k: k, Name: name} }
+
+// SetHandler installs the guest's interrupt handler.
+func (q *IRQ) SetHandler(fn func()) { q.handler = fn }
+
+// Raise asserts the line; the handler runs as a scheduled event at the
+// current instant.
+func (q *IRQ) Raise() {
+	q.Raised++
+	if q.handler != nil {
+		h := q.handler
+		q.k.After(0, h)
+	}
+}

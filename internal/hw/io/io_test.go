@@ -1,0 +1,194 @@
+package io
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// regbank is a trivial register file for tests.
+type regbank struct {
+	regs map[int64]uint64
+}
+
+func newRegbank() *regbank { return &regbank{regs: make(map[int64]uint64)} }
+
+func (b *regbank) IORead(_ *sim.Proc, off int64, _ int) uint64 { return b.regs[off] }
+func (b *regbank) IOWrite(_ *sim.Proc, off int64, _ int, v uint64) {
+	b.regs[off] = v
+}
+
+func TestRegisterAndRoute(t *testing.T) {
+	s := NewSpace()
+	b := newRegbank()
+	s.Register("ide", PIO, 0x1F0, 8, b)
+	s.Write(nil, PIO, 0x1F2, 1, 42)
+	if got := s.Read(nil, PIO, 0x1F2, 1); got != 42 {
+		t.Fatalf("Read = %d, want 42", got)
+	}
+	if b.regs[2] != 42 {
+		t.Fatal("write not routed to region-relative offset")
+	}
+}
+
+func TestUnmappedAccess(t *testing.T) {
+	s := NewSpace()
+	if got := s.Read(nil, PIO, 0x9999, 1); got != 0xFF {
+		t.Fatalf("unmapped 1-byte read = %#x, want 0xFF", got)
+	}
+	if got := s.Read(nil, MMIO, 0x9999, 4); got != 0xFFFFFFFF {
+		t.Fatalf("unmapped 4-byte read = %#x, want 0xFFFFFFFF", got)
+	}
+	s.Write(nil, PIO, 0x9999, 1, 1) // must not panic
+}
+
+func TestOverlapPanics(t *testing.T) {
+	s := NewSpace()
+	s.Register("a", PIO, 0x100, 0x10, newRegbank())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping registration did not panic")
+		}
+	}()
+	s.Register("b", PIO, 0x108, 0x10, newRegbank())
+}
+
+func TestPIOandMMIOSeparate(t *testing.T) {
+	s := NewSpace()
+	pio := newRegbank()
+	mmio := newRegbank()
+	s.Register("p", PIO, 0x100, 8, pio)
+	s.Register("m", MMIO, 0x100, 8, mmio) // same base, different kind: fine
+	s.Write(nil, PIO, 0x100, 1, 1)
+	s.Write(nil, MMIO, 0x100, 1, 2)
+	if pio.regs[0] != 1 || mmio.regs[0] != 2 {
+		t.Fatal("PIO and MMIO spaces not independent")
+	}
+}
+
+// countingTap intercepts writes, letting reads pass through.
+type countingTap struct {
+	reads, writes int
+	swallowWrites bool
+}
+
+func (c *countingTap) TapRead(_ *sim.Proc, _ *Region, _ int64, _ int) (uint64, bool) {
+	c.reads++
+	return 0, false
+}
+
+func (c *countingTap) TapWrite(_ *sim.Proc, _ *Region, _ int64, _ int, _ uint64) bool {
+	c.writes++
+	return c.swallowWrites
+}
+
+func TestTapInterception(t *testing.T) {
+	s := NewSpace()
+	b := newRegbank()
+	s.Register("dev", MMIO, 0x1000, 0x100, b)
+	tap := &countingTap{swallowWrites: true}
+	s.SetTap("dev", tap)
+
+	s.Write(nil, MMIO, 0x1000, 4, 99)
+	if tap.writes != 1 {
+		t.Fatal("tap did not see the write")
+	}
+	if b.regs[0] == 99 {
+		t.Fatal("swallowed write reached the device")
+	}
+	s.Read(nil, MMIO, 0x1000, 4)
+	if tap.reads != 1 {
+		t.Fatal("tap did not see the read")
+	}
+	if s.Traps != 2 {
+		t.Fatalf("Traps = %d, want 2", s.Traps)
+	}
+}
+
+func TestTapPassThrough(t *testing.T) {
+	s := NewSpace()
+	b := newRegbank()
+	s.Register("dev", PIO, 0, 8, b)
+	s.SetTap("dev", &countingTap{swallowWrites: false})
+	s.Write(nil, PIO, 0, 1, 7)
+	if b.regs[0] != 7 {
+		t.Fatal("unhandled write did not pass through to the device")
+	}
+}
+
+func TestDetapRestoresDirectAccess(t *testing.T) {
+	s := NewSpace()
+	b := newRegbank()
+	s.Register("dev", PIO, 0, 8, b)
+	tap := &countingTap{}
+	s.SetTap("dev", tap)
+	s.Read(nil, PIO, 0, 1)
+	s.SetTap("dev", nil) // de-virtualization
+	if s.Tapped("dev") {
+		t.Fatal("Tapped after removal")
+	}
+	s.Read(nil, PIO, 0, 1)
+	if tap.reads != 1 {
+		t.Fatal("tap saw access after removal")
+	}
+	if s.Direct != 1 {
+		t.Fatalf("Direct = %d, want 1", s.Direct)
+	}
+}
+
+func TestDeviceBypassesTap(t *testing.T) {
+	s := NewSpace()
+	b := newRegbank()
+	r := s.Register("dev", PIO, 0, 8, b)
+	tap := &countingTap{}
+	s.SetTap("dev", tap)
+	// VMM-side access through Device() must not trap.
+	r.Device().IOWrite(nil, 3, 1, 5)
+	if tap.writes != 0 {
+		t.Fatal("device-side access trapped")
+	}
+	if b.regs[3] != 5 {
+		t.Fatal("device-side write lost")
+	}
+}
+
+func TestLookupAndFind(t *testing.T) {
+	s := NewSpace()
+	s.Register("a", PIO, 0x100, 8, newRegbank())
+	s.Register("b", PIO, 0x200, 8, newRegbank())
+	if s.Lookup("b") == nil || s.Lookup("c") != nil {
+		t.Fatal("Lookup wrong")
+	}
+	if r := s.Find(PIO, 0x204); r == nil || r.Name != "b" {
+		t.Fatalf("Find(0x204) = %v", r)
+	}
+	if s.Find(PIO, 0x208) != nil {
+		t.Fatal("Find past region end should be nil")
+	}
+	if len(s.Regions()) != 2 {
+		t.Fatal("Regions() wrong length")
+	}
+}
+
+func TestIRQDelivery(t *testing.T) {
+	k := sim.New(1)
+	q := NewIRQ(k, "ide")
+	fired := 0
+	q.SetHandler(func() { fired++ })
+	q.Raise()
+	q.Raise()
+	k.Run()
+	if fired != 2 || q.Raised != 2 {
+		t.Fatalf("fired=%d Raised=%d, want 2/2", fired, q.Raised)
+	}
+}
+
+func TestIRQWithoutHandler(t *testing.T) {
+	k := sim.New(1)
+	q := NewIRQ(k, "x")
+	q.Raise() // must not panic
+	k.Run()
+	if q.Raised != 1 {
+		t.Fatal("Raised not counted")
+	}
+}

@@ -1,0 +1,449 @@
+package mediator
+
+import (
+	"fmt"
+
+	"repro/internal/cpuvirt"
+	"repro/internal/hw/ahci"
+	"repro/internal/hw/disk"
+	hwio "repro/internal/hw/io"
+	"repro/internal/hw/mem"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// vmmSlot is the command slot the mediator reserves for its own requests.
+// Guest drivers allocate from the low slots; the mediator's emulated PxCI
+// always hides this bit from the guest.
+const vmmSlot = 31
+
+// ahciCommand is an interpreted guest command: the slot plus everything
+// parsed from the in-memory command header, FIS, and PRDT.
+type ahciCommand struct {
+	slot        int
+	opcode      uint8
+	lba, count  int64
+	write       bool
+	data        bool
+	ctba        uint64
+	prdtl       int
+	bufAddr     int64
+	hintSrc     disk.SectorSource
+	hintDiscard bool
+	hintArmed   bool
+}
+
+// AHCI is the device mediator for the AHCI HBA. It interprets the in-
+// memory command list the guest builds (paper §3.2: "in association with
+// in-memory data structures including queues"), intercepts PxCI writes,
+// and emulates PxCI/status reads while it holds the device.
+type AHCI struct {
+	m       *machine.Machine
+	hba     *ahci.HBA
+	backend Backend
+	stats   Stats
+
+	attached bool
+	vmmDepth int // >0: the VMM owns the device; guest issues are queued
+
+	// Shadows from interpretation.
+	shCLB  uint64
+	shGHC  uint32
+	shPxIE uint32
+
+	heldCI    uint32 // guest slots queued during VMM ownership
+	redirCI   uint32 // guest slots being served by redirection
+	queuedCmd []ahciCommand
+
+	vmmRegion mem.Region
+	dummyLBA  int64
+	devLock   *sim.Resource
+
+	// VirtualIRQ selects the rejected design alternative for the
+	// ablation benchmark: inject completion interrupts from the VMM
+	// instead of the dummy-sector restart. The mediator must then also
+	// emulate PxIS for the slots it completed virtually.
+	VirtualIRQ bool
+	virtIS     uint32
+}
+
+// VMM scratch layout within the reserved region (after the IDE offsets so
+// one region can serve either mediator).
+const (
+	vmmCTBAOff = 0x4000
+)
+
+// NewAHCI builds the mediator for machine m (which must use AHCI storage).
+func NewAHCI(m *machine.Machine, backend Backend, vmmRegion mem.Region) *AHCI {
+	if m.AHCI == nil {
+		panic("mediator: machine has no AHCI controller")
+	}
+	return &AHCI{
+		m:         m,
+		hba:       m.AHCI,
+		backend:   backend,
+		vmmRegion: vmmRegion,
+		dummyLBA:  m.Disk.Sectors - 1,
+		devLock:   sim.NewResource(m.K, m.Name+".med.dev", 1),
+	}
+}
+
+// Attach implements Mediator.
+func (md *AHCI) Attach() {
+	md.m.IO.SetTap(md.hba.Name+".abar", md)
+	md.attached = true
+}
+
+// Detach implements Mediator.
+func (md *AHCI) Detach() {
+	if !md.Quiesced() {
+		panic("mediator: detach with mediation in flight")
+	}
+	md.m.IO.SetTap(md.hba.Name+".abar", nil)
+	md.attached = false
+}
+
+// Quiesced implements Mediator.
+func (md *AHCI) Quiesced() bool {
+	return md.vmmDepth == 0 && md.heldCI == 0 && md.redirCI == 0 &&
+		len(md.queuedCmd) == 0 && md.devLock.InUse() == 0
+}
+
+// Stats implements Mediator.
+func (md *AHCI) Stats() *Stats { return &md.stats }
+
+func (md *AHCI) device() hwio.Handler {
+	return md.m.IO.Lookup(md.hba.Name + ".abar").Device()
+}
+
+// TapRead implements io.Tap: PxCI emulation hides the VMM slot and keeps
+// held/redirected guest slots visibly "in flight".
+func (md *AHCI) TapRead(p *sim.Proc, _ *hwio.Region, off int64, size int) (uint64, bool) {
+	md.m.World.Exit(p, cpuvirt.ExitMMIO)
+	switch off {
+	case ahci.PortBase + ahci.PxCI:
+		real := uint32(md.device().IORead(p, off, size))
+		return uint64(real&^(1<<vmmSlot) | md.heldCI | md.redirCI), true
+	case ahci.PortBase + ahci.PxIS:
+		if md.virtIS != 0 {
+			real := uint32(md.device().IORead(p, off, size))
+			return uint64(real | md.virtIS), true
+		}
+	}
+	return 0, false
+}
+
+// TapWrite implements io.Tap: interpretation of command issues.
+func (md *AHCI) TapWrite(p *sim.Proc, _ *hwio.Region, off int64, size int, v uint64) bool {
+	md.m.World.Exit(p, cpuvirt.ExitMMIO)
+	switch off {
+	case ahci.RegGHC:
+		md.shGHC = uint32(v)
+	case ahci.PortBase + ahci.PxCLB:
+		md.shCLB = md.shCLB&^0xFFFFFFFF | v&0xFFFFFFFF
+	case ahci.PortBase + ahci.PxCLBU:
+		md.shCLB = md.shCLB&0xFFFFFFFF | v<<32
+	case ahci.PortBase + ahci.PxIS:
+		md.virtIS &^= uint32(v) // guest acks virtual completions too
+	case ahci.PortBase + ahci.PxIE:
+		md.shPxIE = uint32(v)
+		if md.vmmDepth > 0 {
+			return true // VMM holds the real PxIE masked
+		}
+	case ahci.PortBase + ahci.PxCI:
+		return md.onGuestIssue(uint32(v))
+	}
+	return false
+}
+
+// onGuestIssue interprets newly issued slots; it reports whether the
+// hardware write was swallowed (always true: pass-through bits are
+// re-issued selectively).
+func (md *AHCI) onGuestIssue(ci uint32) bool {
+	var passMask uint32
+	for slot := 0; slot < ahci.NumSlots; slot++ {
+		if ci&(1<<slot) == 0 {
+			continue
+		}
+		md.stats.GuestCommands.Inc()
+		cmd := md.interpret(slot)
+		cmd.hintSrc, cmd.hintDiscard, cmd.hintArmed = md.m.TakeStorageDMAHint(cmd.bufAddr)
+		if md.vmmDepth > 0 {
+			md.stats.QueuedCommands.Inc()
+			md.heldCI |= 1 << slot
+			md.queuedCmd = append(md.queuedCmd, cmd)
+			continue
+		}
+		if md.dispatch(cmd) {
+			continue // mediator took the slot over
+		}
+		passMask |= 1 << slot
+	}
+	if passMask != 0 {
+		md.device().IOWrite(nil, ahci.PortBase+ahci.PxCI, 4, uint64(passMask))
+	}
+	return true
+}
+
+// interpret parses the guest's command structures out of guest memory —
+// the I/O interpretation step.
+func (md *AHCI) interpret(slot int) ahciCommand {
+	hd := ahci.ReadCmdHeader(md.m.Mem, md.shCLB, slot)
+	cmd := ahciCommand{slot: slot, ctba: hd.CTBA, prdtl: hd.PRDTL}
+	// Data information: the guest DMA buffer from the first PRDT entry.
+	if prds := ahci.ReadPRDT(md.m.Mem, hd.CTBA, hd.PRDTL); len(prds) > 0 {
+		cmd.bufAddr = prds[0].Addr
+	}
+	fis, err := ahci.ReadFIS(md.m.Mem, hd.CTBA)
+	if err != nil {
+		return cmd // not a data command; let the device fault it
+	}
+	cmd.opcode = fis.Command
+	cmd.lba, cmd.count = fis.LBA, fis.Count
+	switch fis.Command {
+	case ahci.CmdReadDMAExt:
+		cmd.data = true
+	case ahci.CmdWriteDMAExt:
+		cmd.data = true
+		cmd.write = true
+	}
+	return cmd
+}
+
+// dispatch routes an interpreted command; it reports whether the mediator
+// took the slot over.
+func (md *AHCI) dispatch(cmd ahciCommand) bool {
+	if !cmd.data {
+		md.rearmHint(cmd)
+		return false
+	}
+	if md.backend.Protected(cmd.lba, cmd.count) {
+		md.stats.ProtectedHits.Inc()
+		md.redirCI |= 1 << cmd.slot
+		md.m.K.Spawn(md.hba.Name+".med.protect", func(p *sim.Proc) { md.protectAccess(p, cmd) })
+		return true
+	}
+	if cmd.write {
+		md.backend.GuestWrote(cmd.lba, cmd.count)
+		md.rearmHint(cmd)
+		return false
+	}
+	md.backend.GuestRead(cmd.lba, cmd.count)
+	if md.backend.AllFilled(cmd.lba, cmd.count) {
+		md.rearmHint(cmd)
+		return false
+	}
+	md.stats.Redirects.Inc()
+	md.redirCI |= 1 << cmd.slot
+	md.m.K.Spawn(md.hba.Name+".med.redirect", func(p *sim.Proc) { md.redirect(p, cmd) })
+	return true
+}
+
+func (md *AHCI) rearmHint(cmd ahciCommand) {
+	if cmd.hintArmed {
+		md.hba.SetNextDMA(cmd.bufAddr, cmd.hintSrc, cmd.hintDiscard)
+	}
+}
+
+// acquire takes the device for VMM use: serialize against other VMM work,
+// switch to ownership mode, and wait for in-flight guest commands to
+// drain ("1. Find").
+func (md *AHCI) acquire(p *sim.Proc) {
+	md.devLock.Acquire(p)
+	md.vmmDepth++
+	dev := md.device()
+	for {
+		ci := uint32(dev.IORead(p, ahci.PortBase+ahci.PxCI, 4))
+		if ci == 0 && !md.hba.Busy() {
+			break
+		}
+		md.stats.Polls.Inc()
+		md.m.World.Exit(nil, cpuvirt.ExitPreemptionTimer)
+		p.Sleep(md.backend.PollInterval())
+	}
+}
+
+// release returns the device to the guest and replays held commands.
+func (md *AHCI) release(p *sim.Proc) {
+	md.vmmDepth--
+	if md.vmmDepth == 0 {
+		queued := md.queuedCmd
+		md.queuedCmd = nil
+		var passMask uint32
+		for _, cmd := range queued {
+			md.heldCI &^= 1 << cmd.slot
+			if !md.dispatch(cmd) {
+				passMask |= 1 << cmd.slot
+			}
+		}
+		if passMask != 0 {
+			md.device().IOWrite(nil, ahci.PortBase+ahci.PxCI, 4, uint64(passMask))
+		}
+	}
+	md.devLock.Release()
+}
+
+// vmmSlotOp runs one VMM command through the reserved slot with port
+// interrupts masked, polling for completion ("2. Request").
+func (md *AHCI) vmmSlotOp(p *sim.Proc, write bool, payload disk.Payload, keepIRQ bool) {
+	dev := md.device()
+	ctba := uint64(md.vmmRegion.Start + vmmCTBAOff)
+	buf := md.vmmRegion.Start + vmmBufOff
+	opcode := uint8(ahci.CmdReadDMAExt)
+	if write {
+		opcode = ahci.CmdWriteDMAExt
+	}
+	ahci.WriteFIS(md.m.Mem, ctba, ahci.FIS{Command: opcode, LBA: payload.LBA, Count: payload.Count})
+	ahci.WritePRDT(md.m.Mem, ctba, []ahci.PRD{{Addr: buf, Bytes: payload.Count * disk.SectorSize}})
+	ahci.WriteCmdHeader(md.m.Mem, md.shCLB, vmmSlot, ahci.CmdHeader{
+		FISLen: 5, Write: write, PRDTL: 1, CTBA: ctba,
+	})
+	if write {
+		md.hba.SetNextDMA(buf, payload.Source, false)
+	} else {
+		md.hba.SetNextDMA(buf, nil, true)
+	}
+	if keepIRQ {
+		dev.IOWrite(p, ahci.PortBase+ahci.PxIE, 4, uint64(md.shPxIE))
+	} else {
+		dev.IOWrite(p, ahci.PortBase+ahci.PxIE, 4, 0)
+	}
+	dev.IOWrite(p, ahci.PortBase+ahci.PxCI, 4, 1<<vmmSlot)
+	if keepIRQ {
+		return
+	}
+	for uint32(dev.IORead(p, ahci.PortBase+ahci.PxCI, 4))&(1<<vmmSlot) != 0 {
+		md.stats.Polls.Inc()
+		md.m.World.Exit(nil, cpuvirt.ExitPreemptionTimer)
+		md.m.World.RecordVMMWork(2 * sim.Microsecond)
+		p.Sleep(md.backend.PollInterval())
+	}
+	// Quietly acknowledge the completion the VMM caused, then restore
+	// the guest's interrupt enable.
+	dev.IOWrite(p, ahci.PortBase+ahci.PxIS, 4, uint64(ahci.ISDHRS))
+	dev.IOWrite(p, ahci.PortBase+ahci.PxIE, 4, uint64(md.shPxIE))
+}
+
+// redirect performs copy-on-read for one intercepted guest read slot.
+func (md *AHCI) redirect(p *sim.Proc, cmd ahciCommand) {
+	md.acquire(p)
+	defer md.release(p)
+
+	parts := make([]disk.Payload, 0, 4)
+	cursor := cmd.lba
+	appendLocal := func(upto int64) {
+		for cursor < upto {
+			n := upto - cursor
+			if n > 2048 {
+				n = 2048
+			}
+			md.vmmSlotOp(p, false, disk.Payload{LBA: cursor, Count: n}, false)
+			parts = append(parts, md.m.Disk.Store().ReadPayload(cursor, n))
+			cursor += n
+		}
+	}
+	for _, run := range md.backend.UnfilledRuns(cmd.lba, cmd.count) {
+		appendLocal(run.LBA)
+		pl, err := md.backend.Fetch(p, run.LBA, run.Count)
+		if err != nil {
+			md.m.K.Tracef("mediator: fetch [%d,+%d) failed: %v", run.LBA, run.Count, err)
+			md.finishSlot(p, cmd)
+			return
+		}
+		md.vmmSlotOp(p, true, pl, false) // write-through to the local disk
+		md.backend.MarkFilled(run.LBA, run.Count)
+		md.stats.RedirectBytes.Add(run.Count * disk.SectorSize)
+		parts = append(parts, pl)
+		cursor = run.End()
+	}
+	appendLocal(cmd.lba + cmd.count)
+
+	if !cmd.hintDiscard {
+		md.copyToGuestPRDT(cmd, parts)
+	}
+	md.finishSlot(p, cmd)
+}
+
+// protectAccess hides the VMM's bitmap region from the guest.
+func (md *AHCI) protectAccess(p *sim.Proc, cmd ahciCommand) {
+	md.acquire(p)
+	defer md.release(p)
+	if !cmd.write && !cmd.hintDiscard {
+		zero := disk.Payload{LBA: cmd.lba, Count: cmd.count, Source: disk.Zero}
+		md.copyToGuestPRDT(cmd, []disk.Payload{zero})
+	}
+	md.finishSlot(p, cmd)
+}
+
+// finishSlot completes a mediator-owned slot toward the guest: clear the
+// emulated CI bit, then have the device read a dummy sector through the
+// VMM slot with interrupts enabled so the completion interrupt is
+// generated by real hardware ("4. Restart").
+func (md *AHCI) finishSlot(p *sim.Proc, cmd ahciCommand) {
+	md.redirCI &^= 1 << cmd.slot
+	if md.VirtualIRQ {
+		// Ablation path: virtual PxIS bit plus injected interrupt.
+		md.m.World.RecordVMMWork(virtIRQCost)
+		p.Sleep(virtIRQCost)
+		md.virtIS |= ahci.ISDHRS
+		if md.shPxIE&ahci.ISDHRS != 0 && md.shGHC&ahci.GHCInterruptEnable != 0 {
+			md.hba.IRQ.Raise()
+		}
+		return
+	}
+	md.stats.DummyRestarts.Inc()
+	dummy := disk.Payload{LBA: md.dummyLBA, Count: 1, Source: disk.Zero}
+	md.vmmSlotOp(p, false, dummy, true)
+	// Hold the device until the dummy drains (drive-cache hit) so the
+	// next VMM request finds it idle.
+	for uint32(md.device().IORead(p, ahci.PortBase+ahci.PxCI, 4))&(1<<vmmSlot) != 0 {
+		md.stats.Polls.Inc()
+		p.Sleep(md.backend.PollInterval())
+	}
+}
+
+// copyToGuestPRDT is the virtual-DMA step: scatter assembled data into the
+// guest's PRDT buffers parsed from its command table.
+func (md *AHCI) copyToGuestPRDT(cmd ahciCommand, parts []disk.Payload) {
+	var data []byte
+	for _, pl := range parts {
+		data = append(data, pl.Bytes()...)
+	}
+	for _, prd := range ahci.ReadPRDT(md.m.Mem, cmd.ctba, cmd.prdtl) {
+		n := prd.Bytes
+		if n > int64(len(data)) {
+			n = int64(len(data))
+		}
+		md.m.Mem.Write(prd.Addr, data[:n])
+		data = data[n:]
+		if len(data) == 0 {
+			break
+		}
+	}
+}
+
+// InsertWrite implements Mediator.
+func (md *AHCI) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool) bool {
+	md.acquire(p)
+	defer md.release(p)
+	if guard != nil && !guard() {
+		return false
+	}
+	md.stats.Inserted.Inc()
+	md.stats.InsertedBytes.Add(payload.Count * disk.SectorSize)
+	md.vmmSlotOp(p, true, payload, false)
+	return true
+}
+
+// InsertRead implements Mediator.
+func (md *AHCI) InsertRead(p *sim.Proc, lba, count int64) (disk.Payload, bool) {
+	md.acquire(p)
+	defer md.release(p)
+	md.vmmSlotOp(p, false, disk.Payload{LBA: lba, Count: count}, false)
+	return md.m.Disk.Store().ReadPayload(lba, count), true
+}
+
+var _ Mediator = (*AHCI)(nil)
+var _ hwio.Tap = (*AHCI)(nil)
+
+func (md *AHCI) String() string { return fmt.Sprintf("ahci-mediator(%s)", md.hba.Name) }

@@ -1,0 +1,582 @@
+package mediator
+
+import (
+	"fmt"
+
+	"repro/internal/cpuvirt"
+	"repro/internal/hw/disk"
+	"repro/internal/hw/ide"
+	hwio "repro/internal/hw/io"
+	"repro/internal/hw/mem"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// ideMode is the mediator's high-level state.
+type ideMode int
+
+const (
+	idePassthrough ideMode = iota // guest traffic reaches the device
+	ideRedirecting                // a guest read is being served from the server
+	ideVMMOwns                    // a VMM request occupies the device
+)
+
+// latchedShadow mirrors the controller's hob register pair.
+type latchedShadow struct{ cur, prev uint8 }
+
+func (l *latchedShadow) write(v uint8) { l.prev, l.cur = l.cur, v }
+
+// ideCommand is an interpreted guest command snapshot: everything needed
+// to understand, queue, and replay it.
+type ideCommand struct {
+	opcode      uint8
+	lba, count  int64
+	write       bool
+	data        bool
+	prdt        uint32
+	bufAddr     int64
+	bmCmd       uint8
+	hintSrc     disk.SectorSource
+	hintDiscard bool
+	hintArmed   bool
+}
+
+// IDE is the device mediator for the IDE controller. Its LOC-to-function
+// ratio mirrors the paper's observation: it only understands the command,
+// status, and data-transfer sequences, ignoring initialization and
+// vendor-specific traffic.
+type IDE struct {
+	m       *machine.Machine
+	ctrl    *ide.Controller
+	backend Backend
+	stats   Stats
+
+	attached bool
+	mode     ideMode
+
+	// Shadow task file: what the guest believes it programmed.
+	shFeature, shCount, shLBALow, shLBAMid, shLBAHigh latchedShadow
+	shDevice                                          uint8
+	shNIEN                                            bool
+	shPRDT                                            uint32
+	shBMCmd                                           uint8
+
+	queued []ideCommand // guest commands held during VMM ownership
+
+	// VMM resources: a reserved-memory scratch area for PRD tables and
+	// dummy buffers, and the dummy sector used to generate interrupts.
+	vmmRegion mem.Region
+	dummyLBA  int64
+
+	// devLock serializes VMM-side device use (redirects and inserted
+	// requests).
+	devLock *sim.Resource
+
+	// VirtualIRQ selects the design alternative the paper rejects
+	// (§3.2): instead of restarting the device on a dummy sector so real
+	// hardware raises the completion interrupt, the mediator injects a
+	// virtual interrupt itself. This requires (partially) virtualizing
+	// interrupt delivery, costing an injection path per completion and
+	// complicating de-virtualization; it exists here for the ablation
+	// benchmark.
+	VirtualIRQ bool
+}
+
+// virtIRQCost is the interrupt-injection path cost under VirtualIRQ
+// (vector lookup, virtual APIC emulation, event injection on VM entry).
+const virtIRQCost = 8 * sim.Microsecond
+
+// NewIDE builds the mediator for machine m (which must use IDE storage),
+// drawing scratch memory from vmmRegion.
+func NewIDE(m *machine.Machine, backend Backend, vmmRegion mem.Region) *IDE {
+	if m.IDE == nil {
+		panic("mediator: machine has no IDE controller")
+	}
+	return &IDE{
+		m:         m,
+		ctrl:      m.IDE,
+		backend:   backend,
+		vmmRegion: vmmRegion,
+		dummyLBA:  m.Disk.Sectors - 1, // a sector the guest image never uses
+		devLock:   sim.NewResource(m.K, m.Name+".med.dev", 1),
+	}
+}
+
+// VMM scratch layout within the reserved region.
+const (
+	vmmPRDOff   = 0x0
+	vmmDummyOff = 0x1000
+	vmmBufOff   = 0x2000
+)
+
+// Attach implements Mediator.
+func (md *IDE) Attach() {
+	for _, name := range []string{md.ctrl.Name + ".cmd", md.ctrl.Name + ".ctl", md.ctrl.Name + ".bm"} {
+		md.m.IO.SetTap(name, md)
+	}
+	md.attached = true
+}
+
+// Detach implements Mediator: de-virtualization of this device.
+func (md *IDE) Detach() {
+	if !md.Quiesced() {
+		panic("mediator: detach with mediation in flight")
+	}
+	for _, name := range []string{md.ctrl.Name + ".cmd", md.ctrl.Name + ".ctl", md.ctrl.Name + ".bm"} {
+		md.m.IO.SetTap(name, nil)
+	}
+	md.attached = false
+}
+
+// Quiesced implements Mediator.
+func (md *IDE) Quiesced() bool {
+	return md.mode == idePassthrough && len(md.queued) == 0 && md.devLock.InUse() == 0
+}
+
+// Stats implements Mediator.
+func (md *IDE) Stats() *Stats { return &md.stats }
+
+// regionKind classifies the tapped region by name suffix.
+func (md *IDE) regionKind(r *hwio.Region) string {
+	switch r.Name {
+	case md.ctrl.Name + ".cmd":
+		return "cmd"
+	case md.ctrl.Name + ".ctl":
+		return "ctl"
+	default:
+		return "bm"
+	}
+}
+
+// TapRead implements io.Tap: status emulation.
+func (md *IDE) TapRead(p *sim.Proc, r *hwio.Region, off int64, size int) (uint64, bool) {
+	md.m.World.Exit(p, cpuvirt.ExitPIO)
+	kind := md.regionKind(r)
+	switch {
+	case kind == "cmd" && off == ide.RegStatusCmd, kind == "ctl" && off == ide.RegDevControl:
+		switch md.mode {
+		case ideRedirecting:
+			return ide.StatusBSY, true
+		case ideVMMOwns:
+			// Emulate "not busy" so the guest proceeds; if the guest
+			// already issued a (queued) command, it must see busy.
+			if len(md.queued) > 0 {
+				return ide.StatusBSY, true
+			}
+			return ide.StatusDRDY, true
+		}
+	case kind == "bm" && off == ide.BMRegStatus:
+		if md.mode == ideVMMOwns || md.mode == ideRedirecting {
+			return uint64(md.shBMCmd & ide.BMCmdStart), true // hide VMM activity
+		}
+	}
+	return 0, false // pass through to the device
+}
+
+// TapWrite implements io.Tap: interpretation and interception.
+func (md *IDE) TapWrite(p *sim.Proc, r *hwio.Region, off int64, size int, v uint64) bool {
+	md.m.World.Exit(p, cpuvirt.ExitPIO)
+	kind := md.regionKind(r)
+	x := uint8(v)
+	swallow := md.mode != idePassthrough
+
+	switch kind {
+	case "ctl":
+		md.shNIEN = x&ide.CtlNIEN != 0
+		return swallow
+	case "bm":
+		switch off {
+		case ide.BMRegPRDT:
+			md.shPRDT = uint32(v)
+		case ide.BMRegCmd:
+			md.shBMCmd = x
+		}
+		return swallow
+	}
+	// Command block.
+	switch off {
+	case ide.RegErrFeature:
+		md.shFeature.write(x)
+	case ide.RegSectorCount:
+		md.shCount.write(x)
+	case ide.RegLBALow:
+		md.shLBALow.write(x)
+	case ide.RegLBAMid:
+		md.shLBAMid.write(x)
+	case ide.RegLBAHigh:
+		md.shLBAHigh.write(x)
+	case ide.RegDevice:
+		md.shDevice = x
+	case ide.RegStatusCmd:
+		return md.onGuestCommand(x)
+	}
+	return swallow
+}
+
+// decode reconstructs the command from the shadow task file — the I/O
+// interpretation step.
+func (md *IDE) decode(opcode uint8) ideCommand {
+	c := ideCommand{opcode: opcode, prdt: md.shPRDT, bmCmd: md.shBMCmd}
+	// Data information: the guest DMA buffer from the first PRD entry.
+	e := md.m.Mem.Read(int64(md.shPRDT), ide.PRDEntrySize)
+	c.bufAddr = int64(uint32(e[0]) | uint32(e[1])<<8 | uint32(e[2])<<16 | uint32(e[3])<<24)
+	switch opcode {
+	case ide.CmdReadDMA, ide.CmdWriteDMA:
+		c.data = true
+		c.write = opcode == ide.CmdWriteDMA
+		c.lba = int64(md.shLBALow.cur) | int64(md.shLBAMid.cur)<<8 |
+			int64(md.shLBAHigh.cur)<<16 | int64(md.shDevice&0x0F)<<24
+		c.count = int64(md.shCount.cur)
+		if c.count == 0 {
+			c.count = 256
+		}
+	case ide.CmdReadDMAExt, ide.CmdWriteDMAExt:
+		c.data = true
+		c.write = opcode == ide.CmdWriteDMAExt
+		c.lba = int64(md.shLBALow.cur) | int64(md.shLBAMid.cur)<<8 | int64(md.shLBAHigh.cur)<<16 |
+			int64(md.shLBALow.prev)<<24 | int64(md.shLBAMid.prev)<<32 | int64(md.shLBAHigh.prev)<<40
+		c.count = int64(md.shCount.cur) | int64(md.shCount.prev)<<8
+		if c.count == 0 {
+			c.count = 65536
+		}
+	}
+	return c
+}
+
+// onGuestCommand is the interpretation/dispatch point for a command
+// register write. It reports whether the write was swallowed.
+func (md *IDE) onGuestCommand(opcode uint8) bool {
+	md.stats.GuestCommands.Inc()
+	cmd := md.decode(opcode)
+	cmd.hintSrc, cmd.hintDiscard, cmd.hintArmed = md.m.TakeStorageDMAHint(cmd.bufAddr)
+
+	if md.mode == ideVMMOwns {
+		// I/O multiplexing: hold the guest request until the VMM's
+		// completes, then replay it.
+		md.stats.QueuedCommands.Inc()
+		md.queued = append(md.queued, cmd)
+		return true
+	}
+	return md.dispatch(cmd)
+}
+
+// dispatch routes an interpreted command; it reports whether the hardware
+// write was swallowed (true when the mediator takes over the command).
+func (md *IDE) dispatch(cmd ideCommand) bool {
+	if !cmd.data {
+		// Initialization, flush, vendor traffic: not the mediator's
+		// business (paper §3.2: mediators ignore irrelevant sequences).
+		md.rearmHint(cmd)
+		return false
+	}
+	if md.backend.Protected(cmd.lba, cmd.count) {
+		md.stats.ProtectedHits.Inc()
+		md.mode = ideRedirecting
+		md.m.K.Spawn(md.ctrl.Name+".med.protect", func(p *sim.Proc) { md.protectAccess(p, cmd) })
+		return true
+	}
+	if cmd.write {
+		md.backend.GuestWrote(cmd.lba, cmd.count)
+		md.rearmHint(cmd)
+		return false
+	}
+	md.backend.GuestRead(cmd.lba, cmd.count)
+	if md.backend.AllFilled(cmd.lba, cmd.count) {
+		md.rearmHint(cmd)
+		return false
+	}
+	// I/O redirection: block the device access and serve from the server.
+	md.stats.Redirects.Inc()
+	md.mode = ideRedirecting
+	md.m.K.Spawn(md.ctrl.Name+".med.redirect", func(p *sim.Proc) { md.redirect(p, cmd) })
+	return true
+}
+
+// rearmHint puts a taken DMA hint back before a command passes through to
+// the device, so the controller captures it at issue as usual.
+func (md *IDE) rearmHint(cmd ideCommand) {
+	if cmd.hintArmed {
+		md.ctrl.SetNextDMA(cmd.bufAddr, cmd.hintSrc, cmd.hintDiscard)
+	}
+}
+
+// redirect performs copy-on-read for one intercepted guest read.
+func (md *IDE) redirect(p *sim.Proc, cmd ideCommand) {
+	md.devLock.Acquire(p)
+	defer md.devLock.Release()
+
+	parts := make([]disk.Payload, 0, 4)
+	cursor := cmd.lba
+	appendLocal := func(upto int64) {
+		for cursor < upto {
+			n := upto - cursor
+			if n > 2048 {
+				n = 2048
+			}
+			pl := md.deviceOp(p, false, disk.Payload{LBA: cursor, Count: n}, false)
+			parts = append(parts, pl)
+			cursor += n
+		}
+	}
+	for _, run := range md.backend.UnfilledRuns(cmd.lba, cmd.count) {
+		appendLocal(run.LBA) // already-filled gap: read from the local disk
+		pl, err := md.backend.Fetch(p, run.LBA, run.Count)
+		if err != nil {
+			// Server unreachable: fail the command the way hardware
+			// would — complete with an error via the dummy restart path
+			// after setting the error taskfile. The guest sees an I/O
+			// error, not a hang.
+			md.m.K.Tracef("mediator: fetch [%d,+%d) failed: %v", run.LBA, run.Count, err)
+			md.dummyRestart(p)
+			return
+		}
+		// Write-through to the local disk, then mark filled (§3.1:
+		// "also writes the data to the local disk for future use").
+		md.deviceOp(p, true, pl, false)
+		md.backend.MarkFilled(run.LBA, run.Count)
+		md.stats.RedirectBytes.Add(run.Count * disk.SectorSize)
+		parts = append(parts, pl)
+		cursor = run.End()
+	}
+	appendLocal(cmd.lba + cmd.count)
+
+	// Virtual DMA: copy the assembled data into the guest's buffers
+	// using the PRD table captured by interpretation. A discard hint
+	// means the guest will not look at the data.
+	if !cmd.hintDiscard {
+		md.copyToGuestPRD(cmd.prdt, parts)
+	}
+	md.dummyRestart(p)
+}
+
+// protectAccess handles guest access to the VMM's bitmap save region: the
+// data never moves, but the device still generates a completion interrupt.
+func (md *IDE) protectAccess(p *sim.Proc, cmd ideCommand) {
+	md.devLock.Acquire(p)
+	defer md.devLock.Release()
+	if !cmd.write && !cmd.hintDiscard {
+		// Reads observe zeros.
+		zero := disk.Payload{LBA: cmd.lba, Count: cmd.count, Source: disk.Zero}
+		md.copyToGuestPRD(cmd.prdt, []disk.Payload{zero})
+	}
+	md.dummyRestart(p)
+}
+
+// copyToGuestPRD is the mediator acting as a virtual DMA controller.
+func (md *IDE) copyToGuestPRD(prdt uint32, parts []disk.Payload) {
+	var data []byte
+	for _, pl := range parts {
+		data = append(data, pl.Bytes()...)
+	}
+	addr := int64(prdt)
+	for len(data) > 0 {
+		e := md.m.Mem.Read(addr, ide.PRDEntrySize)
+		bufAddr := int64(uint32(e[0]) | uint32(e[1])<<8 | uint32(e[2])<<16 | uint32(e[3])<<24)
+		count := int64(uint16(e[4]) | uint16(e[5])<<8)
+		if count == 0 {
+			count = 65536
+		}
+		if count > int64(len(data)) {
+			count = int64(len(data))
+		}
+		md.m.Mem.Write(bufAddr, data[:count])
+		data = data[count:]
+		flags := uint16(e[6]) | uint16(e[7])<<8
+		if flags&ide.PRDEOT != 0 {
+			break
+		}
+		addr += ide.PRDEntrySize
+	}
+}
+
+// deviceOp issues one VMM request directly to the device (through the
+// untapped Device() interface), with device interrupts disabled and
+// completion detected by polling — the multiplexing primitive.
+func (md *IDE) deviceOp(p *sim.Proc, write bool, payload disk.Payload, keepIRQ bool) disk.Payload {
+	cb := md.m.IO.Lookup(md.ctrl.Name + ".cmd").Device()
+	ctl := md.m.IO.Lookup(md.ctrl.Name + ".ctl").Device()
+	bm := md.m.IO.Lookup(md.ctrl.Name + ".bm").Device()
+
+	if !keepIRQ {
+		ctl.IOWrite(p, ide.RegDevControl, 1, ide.CtlNIEN)
+	} else {
+		// Honor the guest's interrupt setting: the restart must raise
+		// the interrupt exactly when the guest's own command would have.
+		v := uint64(0)
+		if md.shNIEN {
+			v = ide.CtlNIEN
+		}
+		ctl.IOWrite(p, ide.RegDevControl, 1, v)
+	}
+	// Build a PRD table in VMM scratch memory pointing at the VMM bounce
+	// buffer; content rides the DMA hint, so the buffer is never copied.
+	prd := md.vmmRegion.Start + vmmPRDOff
+	buf := md.vmmRegion.Start + vmmBufOff
+	ide.WritePRDTable(md.m.Mem, prd, buf, payload.Count*disk.SectorSize)
+	bm.IOWrite(p, ide.BMRegPRDT, 4, uint64(prd))
+	if write {
+		md.ctrl.SetNextDMA(buf, payload.Source, false)
+	} else {
+		md.ctrl.SetNextDMA(buf, nil, true) // VMM reads are bookkeeping only
+	}
+	cb.IOWrite(p, ide.RegSectorCount, 1, uint64(payload.Count>>8&0xFF))
+	cb.IOWrite(p, ide.RegSectorCount, 1, uint64(payload.Count&0xFF))
+	cb.IOWrite(p, ide.RegLBALow, 1, uint64(payload.LBA>>24&0xFF))
+	cb.IOWrite(p, ide.RegLBALow, 1, uint64(payload.LBA&0xFF))
+	cb.IOWrite(p, ide.RegLBAMid, 1, uint64(payload.LBA>>32&0xFF))
+	cb.IOWrite(p, ide.RegLBAMid, 1, uint64(payload.LBA>>8&0xFF))
+	cb.IOWrite(p, ide.RegLBAHigh, 1, uint64(payload.LBA>>40&0xFF))
+	cb.IOWrite(p, ide.RegLBAHigh, 1, uint64(payload.LBA>>16&0xFF))
+	cb.IOWrite(p, ide.RegDevice, 1, ide.DeviceLBA)
+	opcode := uint64(ide.CmdReadDMAExt)
+	dir := uint64(ide.BMCmdRead)
+	if write {
+		opcode = ide.CmdWriteDMAExt
+		dir = 0
+	}
+	cb.IOWrite(p, ide.RegStatusCmd, 1, opcode)
+	bm.IOWrite(p, ide.BMRegCmd, 1, ide.BMCmdStart|dir)
+
+	if keepIRQ {
+		return disk.Payload{}
+	}
+	// Poll for completion at the backend's interval; each poll is a
+	// preemption-timer exit plus a little handler work (paper §4.1).
+	for cb.IORead(p, ide.RegStatusCmd, 1)&ide.StatusBSY != 0 {
+		md.stats.Polls.Inc()
+		md.m.World.Exit(nil, cpuvirt.ExitPreemptionTimer)
+		md.m.World.RecordVMMWork(2 * sim.Microsecond)
+		p.Sleep(md.backend.PollInterval())
+	}
+	bm.IOWrite(p, ide.BMRegStatus, 1, ide.BMStatusIRQ) // ack quietly
+	bm.IOWrite(p, ide.BMRegCmd, 1, 0)
+	// Restore the guest's interrupt setting.
+	v := uint64(0)
+	if md.shNIEN {
+		v = ide.CtlNIEN
+	}
+	ctl.IOWrite(p, ide.RegDevControl, 1, v)
+	if write {
+		return disk.Payload{}
+	}
+	return md.m.Disk.Store().ReadPayload(payload.LBA, payload.Count)
+}
+
+// dummyRestart makes the device generate the guest's completion interrupt
+// by reading one dummy sector into a VMM buffer (paper §3.2, "4. Restart").
+// The mediator returns to passthrough before the device completes, so the
+// guest's interrupt handler observes real hardware state.
+func (md *IDE) dummyRestart(p *sim.Proc) {
+	if md.VirtualIRQ {
+		// Ablation path: inject the interrupt from the VMM.
+		md.mode = idePassthrough
+		md.m.World.RecordVMMWork(virtIRQCost)
+		p.Sleep(virtIRQCost)
+		if !md.shNIEN {
+			md.ctrl.IRQ.Raise()
+		}
+		return
+	}
+	md.stats.DummyRestarts.Inc()
+	dummy := disk.Payload{LBA: md.dummyLBA, Count: 1, Source: disk.Zero}
+	md.mode = idePassthrough
+	md.deviceOp(p, false, dummy, true)
+	// Wait for the dummy to finish so the device is idle before the
+	// mediator's lock is released; the read hits the drive cache.
+	for md.ctrl.Busy() {
+		md.stats.Polls.Inc()
+		p.Sleep(md.backend.PollInterval())
+	}
+}
+
+// InsertWrite implements Mediator: background-copy multiplexing.
+func (md *IDE) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool) bool {
+	md.devLock.Acquire(p)
+	defer md.devLock.Release()
+	md.waitDeviceIdle(p)
+	if guard != nil && !guard() {
+		return false
+	}
+	md.mode = ideVMMOwns
+	md.stats.Inserted.Inc()
+	md.stats.InsertedBytes.Add(payload.Count * disk.SectorSize)
+	md.deviceOp(p, true, payload, false)
+	md.releaseOwnership(p)
+	return true
+}
+
+// InsertRead implements Mediator.
+func (md *IDE) InsertRead(p *sim.Proc, lba, count int64) (disk.Payload, bool) {
+	md.devLock.Acquire(p)
+	defer md.devLock.Release()
+	md.waitDeviceIdle(p)
+	md.mode = ideVMMOwns
+	pl := md.deviceOp(p, false, disk.Payload{LBA: lba, Count: count}, false)
+	md.releaseOwnership(p)
+	return pl, true
+}
+
+// waitDeviceIdle polls until any in-flight guest command completes
+// ("1. Find" in the paper's Figure 3).
+func (md *IDE) waitDeviceIdle(p *sim.Proc) {
+	for md.ctrl.Busy() {
+		md.stats.Polls.Inc()
+		md.m.World.Exit(nil, cpuvirt.ExitPreemptionTimer)
+		p.Sleep(md.backend.PollInterval())
+	}
+}
+
+// releaseOwnership replays commands the guest issued while the VMM held
+// the device, restoring the guest's view.
+func (md *IDE) releaseOwnership(p *sim.Proc) {
+	md.mode = idePassthrough
+	for len(md.queued) > 0 {
+		cmd := md.queued[0]
+		md.queued = md.queued[1:]
+		md.replay(p, cmd)
+	}
+}
+
+// replay re-injects a queued guest command: the device registers are
+// restored from the interpreted snapshot and the command re-dispatched (a
+// replayed read may itself need redirection).
+func (md *IDE) replay(p *sim.Proc, cmd ideCommand) {
+	if md.dispatch(cmd) {
+		// The dispatcher took the command over (redirect/protect); its
+		// completion path runs asynchronously.
+		return
+	}
+	// Passthrough: program the device with the guest's register values.
+	cb := md.m.IO.Lookup(md.ctrl.Name + ".cmd").Device()
+	ctl := md.m.IO.Lookup(md.ctrl.Name + ".ctl").Device()
+	bm := md.m.IO.Lookup(md.ctrl.Name + ".bm").Device()
+	v := uint64(0)
+	if md.shNIEN {
+		v = ide.CtlNIEN
+	}
+	ctl.IOWrite(p, ide.RegDevControl, 1, v)
+	bm.IOWrite(p, ide.BMRegPRDT, 4, uint64(cmd.prdt))
+	cb.IOWrite(p, ide.RegSectorCount, 1, uint64(cmd.count>>8&0xFF))
+	cb.IOWrite(p, ide.RegSectorCount, 1, uint64(cmd.count&0xFF))
+	cb.IOWrite(p, ide.RegLBALow, 1, uint64(cmd.lba>>24&0xFF))
+	cb.IOWrite(p, ide.RegLBALow, 1, uint64(cmd.lba&0xFF))
+	cb.IOWrite(p, ide.RegLBAMid, 1, uint64(cmd.lba>>32&0xFF))
+	cb.IOWrite(p, ide.RegLBAMid, 1, uint64(cmd.lba>>8&0xFF))
+	cb.IOWrite(p, ide.RegLBAHigh, 1, uint64(cmd.lba>>40&0xFF))
+	cb.IOWrite(p, ide.RegLBAHigh, 1, uint64(cmd.lba>>16&0xFF))
+	cb.IOWrite(p, ide.RegDevice, 1, ide.DeviceLBA)
+	cb.IOWrite(p, ide.RegStatusCmd, 1, uint64(cmd.opcode))
+	bmv := uint64(cmd.bmCmd)
+	if bmv&ide.BMCmdStart == 0 {
+		bmv |= ide.BMCmdStart
+		if !cmd.write {
+			bmv |= ide.BMCmdRead
+		}
+	}
+	bm.IOWrite(p, ide.BMRegCmd, 1, bmv)
+}
+
+var _ Mediator = (*IDE)(nil)
+var _ hwio.Tap = (*IDE)(nil)
+
+func (md *IDE) String() string { return fmt.Sprintf("ide-mediator(%s)", md.ctrl.Name) }

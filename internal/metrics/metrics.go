@@ -1,0 +1,187 @@
+// Package metrics provides the measurement primitives used by the BMcast
+// experiments: counters, latency histograms with percentile queries, and
+// windowed time series for throughput-over-time figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Counter accumulates a monotonically increasing count.
+type Counter struct {
+	n int64
+}
+
+// Add increases the counter by delta.
+func (c *Counter) Add(delta int64) { c.n += delta }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Histogram records duration samples and answers mean/percentile queries.
+// Samples are kept exactly; the experiment scales involved (thousands to a
+// few million samples) make this affordable and precise.
+type Histogram struct {
+	samples []sim.Duration
+	sorted  bool
+	sum     int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d sim.Duration) {
+	h.samples = append(h.samples, d)
+	h.sum += int64(d)
+	h.sorted = false
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean reports the arithmetic mean of the samples, or 0 with no samples.
+func (h *Histogram) Mean() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / int64(len(h.samples)))
+}
+
+// Percentile reports the p-th percentile (0 < p <= 100) using
+// nearest-rank. It returns 0 with no samples.
+func (h *Histogram) Percentile(p float64) sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.Percentile(0.0001)
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Histogram) Max() sim.Duration { return h.Percentile(100) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.sorted = false
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series is an append-only time series of (time, value) points, used for
+// throughput/latency-over-time figures.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a point. Points must be appended in nondecreasing time order.
+func (s *Series) Append(t sim.Time, v float64) {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		panic(fmt.Sprintf("metrics: series %q time went backwards", s.Name))
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Mean reports the average of all point values, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// MeanBetween reports the average of point values with from <= T < to.
+func (s *Series) MeanBetween(from, to sim.Time) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.T >= from && p.T < to {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Last reports the final point value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// Window accumulates per-interval counts and emits a throughput series
+// (events per second per window). It is driven by Tick calls from the
+// simulation.
+type Window struct {
+	Series   Series
+	interval sim.Duration
+	start    sim.Time
+	count    float64
+}
+
+// NewWindow returns a windowed throughput accumulator with the given
+// aggregation interval.
+func NewWindow(name string, interval sim.Duration) *Window {
+	if interval <= 0 {
+		panic("metrics: window interval must be positive")
+	}
+	return &Window{Series: Series{Name: name}, interval: interval}
+}
+
+// Add records n events at time t, flushing any completed windows first.
+func (w *Window) Add(t sim.Time, n float64) {
+	w.flushUpTo(t)
+	w.count += n
+}
+
+// Flush emits every window that ends at or before t.
+func (w *Window) Flush(t sim.Time) { w.flushUpTo(t) }
+
+func (w *Window) flushUpTo(t sim.Time) {
+	for t >= w.start.Add(w.interval) {
+		rate := w.count / w.interval.Seconds()
+		w.Series.Append(w.start.Add(w.interval), rate)
+		w.count = 0
+		w.start = w.start.Add(w.interval)
+	}
+}

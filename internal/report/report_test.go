@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func sample() *Table {
+	t := &Table{Title: "T", Columns: []string{"name", "value"}}
+	t.AddRow("alpha", 1.25)
+	t.AddRow("b", sim.Duration(1500*sim.Millisecond))
+	t.AddNote("hello %d", 7)
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	out := sample().String()
+	for _, want := range []string{"== T ==", "alpha", "1.2", "1.500s", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: the header and rows share the separator structure.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count: %d", len(lines))
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	for _, want := range []string{"### T", "| name | value |", "| --- | --- |", "| alpha | 1.2 |", "*hello 7*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesSummary(t *testing.T) {
+	var s metrics.Series
+	for i := 0; i < 100; i++ {
+		s.Append(sim.Time(int64(i)*int64(sim.Second)), float64(i))
+	}
+	out := SeriesSummary(&s, 4)
+	if len(strings.Fields(out)) != 4 {
+		t.Fatalf("summary has %d bins, want 4: %q", len(strings.Fields(out)), out)
+	}
+	var empty metrics.Series
+	if got := SeriesSummary(&empty, 4); got != "(empty)" {
+		t.Fatalf("empty series summary = %q", got)
+	}
+	var one metrics.Series
+	one.Append(0, 42)
+	if got := SeriesSummary(&one, 4); !strings.Contains(got, "42") {
+		t.Fatalf("single-point summary = %q", got)
+	}
+}

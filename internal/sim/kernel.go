@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	when     Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when not queued
+}
+
+// When reports the instant the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. It is not safe for use from
+// multiple goroutines except through the Proc handshake it manages itself.
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	yield   chan struct{} // processes signal the kernel loop here
+	procs   int           // live processes (running or parked)
+	stopped bool
+	tracer  func(t Time, format string, args ...any)
+}
+
+// New returns a kernel whose random source is seeded with seed.
+// The same seed always produces an identical run.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now reports the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// SetTracer installs a trace sink invoked by Tracef. A nil tracer disables
+// tracing.
+func (k *Kernel) SetTracer(fn func(t Time, format string, args ...any)) { k.tracer = fn }
+
+// Tracef reports a trace line to the installed tracer, if any.
+func (k *Kernel) Tracef(format string, args ...any) {
+	if k.tracer != nil {
+		k.tracer(k.now, format, args...)
+	}
+}
+
+// At schedules fn to run at instant t, which must not be in the past.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	e := &Event{when: t, seq: k.seq, fn: fn, index: -1}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Stop makes Run return after the currently firing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step fires the earliest pending event. It reports false when no events
+// remain.
+func (k *Kernel) step() bool {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.when < k.now {
+			panic("sim: event heap time went backwards")
+		}
+		k.now = e.when
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain or Stop is called. Processes parked on
+// signals with no pending wakeup are left parked; this mirrors a simulation
+// that has gone quiescent.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.step() {
+	}
+}
+
+// RunUntil fires events up to and including instant t, then sets the clock
+// to t if it has not already advanced past it.
+func (k *Kernel) RunUntil(t Time) {
+	k.stopped = false
+	for !k.stopped {
+		e := k.peek()
+		if e == nil || e.when > t {
+			break
+		}
+		k.step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+func (k *Kernel) peek() *Event {
+	for len(k.events) > 0 && k.events[0].canceled {
+		heap.Pop(&k.events)
+	}
+	if len(k.events) == 0 {
+		return nil
+	}
+	return k.events[0]
+}
+
+// Pending reports the number of scheduled (uncanceled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.After(30*Millisecond, func() { order = append(order, 3) })
+	k.After(10*Millisecond, func() { order = append(order, 1) })
+	k.After(20*Millisecond, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if k.Now() != Time(30*Millisecond) {
+		t.Fatalf("clock = %v, want 30ms", k.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.After(Second, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	e := k.After(Second, func() { fired = true })
+	e.Cancel()
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New(1)
+	var hits []Time
+	k.After(Second, func() {
+		hits = append(hits, k.Now())
+		k.After(Second, func() { hits = append(hits, k.Now()) })
+	})
+	k.Run()
+	if len(hits) != 2 || hits[0] != Time(Second) || hits[1] != Time(2*Second) {
+		t.Fatalf("nested events fired at %v", hits)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New(1)
+	k.After(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	k.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.After(Duration(i)*Second, func() { count++ })
+	}
+	k.RunUntil(Time(5 * Second))
+	if count != 5 {
+		t.Fatalf("fired %d events by 5s, want 5", count)
+	}
+	if k.Now() != Time(5*Second) {
+		t.Fatalf("clock = %v, want 5s", k.Now())
+	}
+	k.Run()
+	if count != 10 {
+		t.Fatalf("fired %d events total, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	k := New(1)
+	k.RunUntil(Time(42 * Second))
+	if k.Now() != Time(42*Second) {
+		t.Fatalf("clock = %v, want 42s", k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.After(Duration(i)*Second, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events before Stop, want 3", count)
+	}
+}
+
+func TestPending(t *testing.T) {
+	k := New(1)
+	e1 := k.After(Second, func() {})
+	k.After(2*Second, func() {})
+	if got := k.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	e1.Cancel()
+	if got := k.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		k := New(99)
+		var trace []int64
+		for i := 0; i < 50; i++ {
+			d := Duration(k.Rand().Intn(1000)) * Millisecond
+			k.After(d, func() { trace = append(trace, int64(k.Now())) })
+		}
+		k.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{2 * Second, "2.000s"},
+		{15 * Millisecond, "15.000ms"},
+		{7 * Microsecond, "7.000µs"},
+		{42, "42ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestRateDuration(t *testing.T) {
+	// 100 MB at 100 MB/s takes one second.
+	d := RateDuration(100<<20, 100*(1<<20))
+	if d != Second {
+		t.Fatalf("RateDuration = %v, want 1s", d)
+	}
+	if RateDuration(1000, 0) != 0 {
+		t.Fatal("zero rate should yield zero duration")
+	}
+}
+
+func TestTimeAddSubProperty(t *testing.T) {
+	f := func(base int32, delta int32) bool {
+		t0 := Time(int64(base) * int64(Millisecond))
+		d := Duration(int64(delta) * int64(Millisecond))
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	k := New(1)
+	var lines int
+	k.SetTracer(func(_ Time, _ string, _ ...any) { lines++ })
+	k.After(Second, func() { k.Tracef("hello %d", 1) })
+	k.Run()
+	if lines != 1 {
+		t.Fatalf("tracer saw %d lines, want 1", lines)
+	}
+	k.SetTracer(nil)
+	k.Tracef("ignored") // must not panic
+}

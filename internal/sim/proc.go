@@ -1,0 +1,176 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine that runs model logic
+// sequentially against the virtual clock. A process blocks with Sleep or
+// Wait; while it is blocked, control returns to the kernel and other events
+// fire. Exactly one of {kernel loop, one process} executes at any moment.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Spawn starts fn as a new process. The process begins executing at the
+// current simulation time, after already-scheduled events for this instant.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs++
+	go func() {
+		<-p.resume // wait until the kernel hands us control
+		defer func() {
+			p.done = true
+			k.procs--
+			k.yield <- struct{}{} // return control to the kernel loop
+		}()
+		fn(p)
+	}()
+	k.After(0, func() { p.transfer() })
+	return p
+}
+
+// transfer hands control from the kernel loop to the process and blocks the
+// kernel until the process parks or finishes.
+func (p *Proc) transfer() {
+	p.resume <- struct{}{}
+	<-p.k.yield
+}
+
+// park returns control to the kernel loop and blocks until the process is
+// resumed by a scheduled event.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current simulation time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.After(d, func() { p.transfer() })
+	p.park()
+}
+
+// SleepUntil suspends the process until instant t. If t is not after the
+// current time the process still yields once, allowing other events at this
+// instant to run first.
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.k.now {
+		t = p.k.now
+	}
+	p.k.At(t, func() { p.transfer() })
+	p.park()
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Wait parks the process until s is broadcast or signaled to it.
+func (p *Proc) Wait(s *Signal) {
+	s.add(p)
+	p.park()
+}
+
+// WaitCond repeatedly waits on s until cond reports true. It checks cond
+// before the first wait, so a condition that already holds returns
+// immediately.
+func (p *Proc) WaitCond(s *Signal, cond func() bool) {
+	for !cond() {
+		p.Wait(s)
+	}
+}
+
+// WaitTimeout parks the process until s fires or d elapses. It reports true
+// if the signal fired, false on timeout.
+func (p *Proc) WaitTimeout(s *Signal, d Duration) bool {
+	fired := false
+	w := &waiter{wake: func() {
+		fired = true
+		p.transfer()
+	}}
+	s.addWaiter(w)
+	timer := p.k.After(d, func() {
+		if w.done {
+			return
+		}
+		w.done = true
+		s.remove(w)
+		p.transfer()
+	})
+	p.park()
+	if fired {
+		timer.Cancel()
+	}
+	return fired
+}
+
+// Signal is a broadcast condition variable for processes. Broadcast wakes
+// every currently parked waiter; waiters that arrive afterwards wait for the
+// next broadcast.
+type Signal struct {
+	k       *Kernel
+	waiters []*waiter
+	name    string
+}
+
+type waiter struct {
+	wake func()
+	done bool
+}
+
+// NewSignal returns a signal bound to kernel k.
+func (k *Kernel) NewSignal(name string) *Signal { return &Signal{k: k, name: name} }
+
+func (s *Signal) add(p *Proc) {
+	s.addWaiter(&waiter{wake: func() { p.transfer() }})
+}
+
+func (s *Signal) addWaiter(w *waiter) { s.waiters = append(s.waiters, w) }
+
+func (s *Signal) remove(w *waiter) {
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Broadcast wakes all waiters at the current instant. Wakeups are scheduled
+// events, so the caller continues first.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w := w
+		s.k.After(0, func() {
+			if w.done {
+				return
+			}
+			w.done = true
+			w.wake()
+		})
+	}
+}
+
+// Waiters reports how many processes are parked on the signal.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// String identifies the signal by name.
+func (s *Signal) String() string { return fmt.Sprintf("signal(%s)", s.name) }

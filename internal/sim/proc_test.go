@@ -1,0 +1,213 @@
+package sim
+
+import "testing"
+
+func TestProcSleep(t *testing.T) {
+	k := New(1)
+	var wake Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Second)
+		wake = p.Now()
+	})
+	k.Run()
+	if wake != Time(5*Second) {
+		t.Fatalf("woke at %v, want 5s", wake)
+	}
+}
+
+func TestProcSequentialSleeps(t *testing.T) {
+	k := New(1)
+	var marks []Time
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(Second)
+			marks = append(marks, p.Now())
+		}
+	})
+	k.Run()
+	want := []Time{Time(Second), Time(2 * Second), Time(3 * Second)}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestTwoProcsInterleave(t *testing.T) {
+	k := New(1)
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1 * Second)
+		order = append(order, "a1")
+		p.Sleep(2 * Second) // wakes at 3s
+		order = append(order, "a3")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(2 * Second)
+		order = append(order, "b2")
+	})
+	k.Run()
+	if len(order) != 3 || order[0] != "a1" || order[1] != "b2" || order[2] != "a3" {
+		t.Fatalf("interleaving wrong: %v", order)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	k := New(1)
+	s := k.NewSignal("go")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", func(p *Proc) {
+			p.Wait(s)
+			woken++
+		})
+	}
+	k.Spawn("caster", func(p *Proc) {
+		p.Sleep(Second)
+		s.Broadcast()
+	})
+	k.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestSignalNoSpuriousWake(t *testing.T) {
+	k := New(1)
+	s := k.NewSignal("never")
+	woken := false
+	k.Spawn("w", func(p *Proc) {
+		p.Wait(s)
+		woken = true
+	})
+	k.Run() // goes quiescent with the waiter parked
+	if woken {
+		t.Fatal("waiter woke without broadcast")
+	}
+	if s.Waiters() != 1 {
+		t.Fatalf("Waiters = %d, want 1", s.Waiters())
+	}
+}
+
+func TestWaitCond(t *testing.T) {
+	k := New(1)
+	s := k.NewSignal("cond")
+	n := 0
+	var done Time
+	k.Spawn("waiter", func(p *Proc) {
+		p.WaitCond(s, func() bool { return n >= 3 })
+		done = p.Now()
+	})
+	k.Spawn("incr", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(Second)
+			n++
+			s.Broadcast()
+		}
+	})
+	k.Run()
+	if done != Time(3*Second) {
+		t.Fatalf("condition met at %v, want 3s", done)
+	}
+}
+
+func TestWaitCondAlreadyTrue(t *testing.T) {
+	k := New(1)
+	s := k.NewSignal("cond")
+	reached := false
+	k.Spawn("waiter", func(p *Proc) {
+		p.WaitCond(s, func() bool { return true })
+		reached = true
+	})
+	k.Run()
+	if !reached {
+		t.Fatal("WaitCond blocked on an already-true condition")
+	}
+}
+
+func TestWaitTimeoutFires(t *testing.T) {
+	k := New(1)
+	s := k.NewSignal("slow")
+	var fired bool
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		fired = p.WaitTimeout(s, 2*Second)
+		at = p.Now()
+	})
+	k.Spawn("caster", func(p *Proc) {
+		p.Sleep(Second)
+		s.Broadcast()
+	})
+	k.Run()
+	if !fired || at != Time(Second) {
+		t.Fatalf("WaitTimeout fired=%v at %v, want true at 1s", fired, at)
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	k := New(1)
+	s := k.NewSignal("never")
+	var fired bool
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		fired = p.WaitTimeout(s, 2*Second)
+		at = p.Now()
+	})
+	k.Run()
+	if fired || at != Time(2*Second) {
+		t.Fatalf("WaitTimeout fired=%v at %v, want false at 2s", fired, at)
+	}
+	if s.Waiters() != 0 {
+		t.Fatalf("timed-out waiter still registered: %d", s.Waiters())
+	}
+}
+
+func TestWaitTimeoutLateBroadcastHarmless(t *testing.T) {
+	k := New(1)
+	s := k.NewSignal("late")
+	var wakes int
+	k.Spawn("w", func(p *Proc) {
+		p.WaitTimeout(s, Second)
+		wakes++
+	})
+	k.Spawn("caster", func(p *Proc) {
+		p.Sleep(5 * Second)
+		s.Broadcast() // waiter already timed out; must not double-wake
+	})
+	k.Run()
+	if wakes != 1 {
+		t.Fatalf("process woke %d times, want 1", wakes)
+	}
+}
+
+func TestProcDone(t *testing.T) {
+	k := New(1)
+	p := k.Spawn("p", func(p *Proc) { p.Sleep(Second) })
+	if p.Done() {
+		t.Fatal("Done before run")
+	}
+	k.Run()
+	if !p.Done() {
+		t.Fatal("not Done after run")
+	}
+	if p.Name() != "p" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestYieldOrdering(t *testing.T) {
+	k := New(1)
+	var order []string
+	k.Spawn("first", func(p *Proc) {
+		order = append(order, "first-before")
+		p.Yield()
+		order = append(order, "first-after")
+	})
+	k.Spawn("second", func(p *Proc) {
+		order = append(order, "second")
+	})
+	k.Run()
+	if order[0] != "first-before" || order[1] != "second" || order[2] != "first-after" {
+		t.Fatalf("yield ordering wrong: %v", order)
+	}
+}

@@ -1,0 +1,179 @@
+// Package testbed wires simulated hardware into the paper's experimental
+// setup: a storage server exporting OS images over AoE through a gigabit
+// jumbo-frame switch, instance machines with two NICs (one dedicated to
+// the VMM), and an InfiniBand fabric for the cluster experiments.
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ethernet"
+	"repro/internal/guest"
+	"repro/internal/hw/disk"
+	"repro/internal/hw/ib"
+	"repro/internal/hw/nic"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/vblade"
+)
+
+// ServerMAC is the storage server's address on the deployment network.
+const ServerMAC ethernet.MAC = 0x0000_0000_0001
+
+// Testbed is one assembled cluster.
+type Testbed struct {
+	K      *sim.Kernel
+	Switch *ethernet.Switch
+	IB     *ib.Fabric
+
+	Image     *disk.Image
+	Server    *vblade.Server
+	ServerNIC *nic.NIC
+
+	Nodes []*Node
+
+	links []*ethernet.Link
+}
+
+// Node is one instance machine with its guest OS.
+type Node struct {
+	M   *machine.Machine
+	OS  *guest.OS
+	VMM *core.VMM // nil until a BMcast deployment boots it
+}
+
+// Config configures a testbed.
+type Config struct {
+	Seed          int64
+	ImageBytes    int64 // OS image size (32 GB in the paper)
+	ImageSeed     int64
+	ServerThreads int // vblade worker pool size
+	Storage       machine.StorageKind
+	DiskSectors   int64 // 0 = full 500 GB testbed disk
+}
+
+// DefaultConfig returns the paper's setup: a 32 GB image behind a
+// thread-pooled vblade on gigabit Ethernet with jumbo frames.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		ImageBytes:    32 << 30,
+		ImageSeed:     42,
+		ServerThreads: 8,
+		Storage:       machine.StorageAHCI,
+	}
+}
+
+// New builds a testbed with a storage server and no nodes yet.
+func New(cfg Config) *Testbed {
+	k := sim.New(cfg.Seed)
+	tb := &Testbed{
+		K:      k,
+		Switch: ethernet.NewSwitch(k, "sw0", 5*sim.Microsecond),
+		IB:     ib.QDR4X(k),
+		Image:  disk.NewSynthImage("ubuntu-14.04", cfg.ImageBytes, cfg.ImageSeed),
+	}
+	link := tb.Switch.Connect(ethernet.GigabitJumbo())
+	tb.links = append(tb.links, link)
+	tb.ServerNIC = nic.New(k, "server.eth0", nic.IntelX540, ServerMAC, link)
+	tb.Server = vblade.NewServer(k, tb.ServerNIC, cfg.ServerThreads)
+	tb.Server.AddTarget(0, 0, tb.Image)
+	tb.Server.Start()
+	return tb
+}
+
+// AddNode assembles a new instance machine attached to the switch and IB
+// fabric. NIC 0 is the guest's; NIC 1 is dedicated to the VMM.
+func (tb *Testbed) AddNode(cfg Config) *Node {
+	idx := len(tb.Nodes)
+	mcfg := machine.RX200S6(fmt.Sprintf("node%d", idx))
+	mcfg.Storage = cfg.Storage
+	if cfg.DiskSectors > 0 {
+		mcfg.Disk.Sectors = cfg.DiskSectors
+	}
+	m := machine.New(tb.K, mcfg)
+	base := ethernet.MAC(0x0200_0000_0000) + ethernet.MAC(idx)*0x10
+	l0 := tb.Switch.Connect(ethernet.GigabitJumbo())
+	l1 := tb.Switch.Connect(ethernet.GigabitJumbo())
+	tb.links = append(tb.links, l0, l1)
+	m.AttachNIC(nic.IntelPro1000, base, l0)
+	m.AttachNIC(nic.IntelPro1000, base+1, l1)
+	m.AttachIB(tb.IB)
+	n := &Node{M: m, OS: guest.NewOS("ubuntu", m)}
+	tb.Nodes = append(tb.Nodes, n)
+	return n
+}
+
+// Links returns every link attached to the switch, for fault injection.
+func (tb *Testbed) Links() []*ethernet.Link {
+	out := make([]*ethernet.Link, len(tb.links))
+	copy(out, tb.links)
+	return out
+}
+
+// BMcastResult summarizes one BMcast deployment.
+type BMcastResult struct {
+	FirmwareDone sim.Time // firmware initialization complete
+	VMMBooted    sim.Time
+	GuestBooted  sim.Time
+	Deployed     sim.Time // background copy complete
+	BareMetal    sim.Time // de-virtualization complete
+}
+
+// DeployBMcast runs the full BMcast path on node n: firmware, VMM network
+// boot, guest boot under mediation, streaming deployment in the
+// background. It returns when the guest has booted; the deployment
+// continues in the background (use WaitBareMetal).
+func (tb *Testbed) DeployBMcast(p *sim.Proc, n *Node, vcfg core.Config, bp guest.BootProfile) (*BMcastResult, error) {
+	res := &BMcastResult{}
+	n.M.Firmware.PowerOn(p, 0) // firmware runs once; VMM loads via network
+	res.FirmwareDone = p.Now()
+	vmm, err := core.Boot(p, n.M, vcfg, 1, ServerMAC, 0, 0, tb.Image.Sectors)
+	if err != nil {
+		return nil, err
+	}
+	n.VMM = vmm
+	res.VMMBooted = p.Now()
+	if err := n.OS.Boot(p, bp); err != nil {
+		return nil, err
+	}
+	res.GuestBooted = p.Now()
+	return res, nil
+}
+
+// WaitBareMetal blocks until node n's VMM has de-virtualized, filling in
+// the result's deployment timestamps.
+func (tb *Testbed) WaitBareMetal(p *sim.Proc, n *Node, res *BMcastResult) {
+	n.VMM.WaitPhase(p, core.PhaseBareMetal)
+	res.Deployed = n.VMM.DeployedAt
+	res.BareMetal = n.VMM.DevirtedAt
+}
+
+// BootBareMetal boots node n from a pre-deployed local disk — the paper's
+// bare-metal baseline.
+func (tb *Testbed) BootBareMetal(p *sim.Proc, n *Node, bp guest.BootProfile) error {
+	n.M.SetDiskImage(tb.Image)
+	n.M.Firmware.PowerOn(p, 0)
+	return n.OS.Boot(p, bp)
+}
+
+// VerifyDeployment checks that node n's local disk is byte-equivalent to
+// the server image except where the guest wrote: every sector's content
+// source must be either the image or a guest-attributed source. It
+// returns the per-source sector counts for reporting.
+func (tb *Testbed) VerifyDeployment(n *Node) (map[string]int64, error) {
+	counts := n.M.Disk.Store().CountBySource()
+	image := n.VMM.Bitmap().Sectors()
+	var covered int64
+	for name, c := range counts {
+		if name == "zero" {
+			continue
+		}
+		covered += c
+	}
+	if covered < image {
+		return counts, fmt.Errorf("testbed: only %d of %d image sectors have content", covered, image)
+	}
+	return counts, nil
+}

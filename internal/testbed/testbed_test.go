@@ -1,0 +1,79 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/sim"
+)
+
+type guestBootProfile = guest.BootProfile
+
+func defaultBoot() guest.BootProfile { return guest.DefaultBootProfile() }
+
+func small() Config {
+	cfg := DefaultConfig()
+	cfg.ImageBytes = 32 << 20
+	cfg.DiskSectors = 1 << 20
+	return cfg
+}
+
+func TestAssembly(t *testing.T) {
+	cfg := small()
+	tb := New(cfg)
+	n1 := tb.AddNode(cfg)
+	n2 := tb.AddNode(cfg)
+	if len(tb.Nodes) != 2 || tb.Nodes[0] != n1 || tb.Nodes[1] != n2 {
+		t.Fatal("node bookkeeping wrong")
+	}
+	if len(n1.M.NICs) != 2 {
+		t.Fatalf("node has %d NICs, want 2 (guest + VMM)", len(n1.M.NICs))
+	}
+	if n1.M.NICs[0].MAC == n2.M.NICs[0].MAC {
+		t.Fatal("MAC collision between nodes")
+	}
+	if n1.M.IB == nil {
+		t.Fatal("node missing IB HCA")
+	}
+	// Server link + 2 per node.
+	if got := len(tb.Links()); got != 5 {
+		t.Fatalf("links = %d, want 5", got)
+	}
+}
+
+func TestBootBareMetal(t *testing.T) {
+	cfg := small()
+	tb := New(cfg)
+	n := tb.AddNode(cfg)
+	n.M.Firmware.InitTime = sim.Second
+	bp := quickBoot(cfg)
+	tb.K.Spawn("bm", func(p *sim.Proc) {
+		if err := tb.BootBareMetal(p, n, bp); err != nil {
+			t.Error(err)
+		}
+	})
+	tb.K.Run()
+	if !n.OS.Booted {
+		t.Fatal("bare-metal boot failed")
+	}
+}
+
+func TestServerServesImage(t *testing.T) {
+	cfg := small()
+	tb := New(cfg)
+	if tb.Server.Target(0, 0) == nil {
+		t.Fatal("image not exported at 0.0")
+	}
+	if tb.Image.Size() != cfg.ImageBytes {
+		t.Fatalf("image size = %d", tb.Image.Size())
+	}
+}
+
+// quickBoot shrinks the boot profile to the test image.
+func quickBoot(cfg Config) (bp guestBootProfile) {
+	b := defaultBoot()
+	b.TotalBytes = 4 << 20
+	b.CPUTime = sim.Second
+	b.SpanSectors = cfg.ImageBytes / 2 / 512
+	return b
+}

@@ -1,0 +1,97 @@
+package vblade_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aoe"
+	"repro/internal/ethernet"
+	"repro/internal/hw/disk"
+	"repro/internal/hw/nic"
+	"repro/internal/sim"
+	"repro/internal/vblade"
+)
+
+// TestReadsCorrectUnderRandomLossProperty: for random loss rates up to
+// 15% per hop and random read patterns, every successful AoE read returns
+// byte-exact image content.
+func TestReadsCorrectUnderRandomLossProperty(t *testing.T) {
+	img := disk.NewSynthImage("img", 16<<20, 9)
+	f := func(seed int64, lossPct uint8, pattern []uint16) bool {
+		loss := float64(lossPct%16) / 100
+		k := sim.New(seed)
+		sw := ethernet.NewSwitch(k, "sw", 5*sim.Microsecond)
+		params := ethernet.GigabitJumbo()
+		params.LossRate = loss
+		cl := nic.New(k, "cl", nic.IntelPro1000, 2, sw.Connect(params))
+		sv := nic.New(k, "sv", nic.IntelX540, 1, sw.Connect(params))
+		srv := vblade.NewServer(k, sv, 4)
+		srv.AddTarget(0, 0, img)
+		srv.Start()
+		in := aoe.NewInitiator(k, cl, 1, 0, 0)
+		in.MaxRetries = 24
+
+		okAll := true
+		k.Spawn("client", func(p *sim.Proc) {
+			for _, pr := range pattern {
+				lba := int64(pr) % (img.Sectors - 64)
+				count := int64(pr)%63 + 1
+				pl, err := in.Read(p, lba, count)
+				if err != nil {
+					// A timeout under heavy loss is acceptable; silent
+					// corruption is not.
+					continue
+				}
+				want := make([]byte, count*disk.SectorSize)
+				img.ReadAt(lba, want)
+				if !bytes.Equal(pl.Bytes(), want) {
+					okAll = false
+					return
+				}
+			}
+		})
+		k.Run()
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteAckIdempotentUnderLoss: lost write ACKs cause retransmitted
+// writes; the store must converge to the written content exactly once.
+func TestWriteAckIdempotentUnderLoss(t *testing.T) {
+	img := disk.NewSynthImage("img", 4<<20, 9)
+	k := sim.New(3)
+	sw := ethernet.NewSwitch(k, "sw", 5*sim.Microsecond)
+	params := ethernet.GigabitJumbo()
+	params.LossRate = 0.10
+	cl := nic.New(k, "cl", nic.IntelPro1000, 2, sw.Connect(params))
+	sv := nic.New(k, "sv", nic.IntelX540, 1, sw.Connect(params))
+	srv := vblade.NewServer(k, sv, 2)
+	tgt := srv.AddTarget(0, 0, img)
+	srv.Start()
+	in := aoe.NewInitiator(k, cl, 1, 0, 0)
+	in.MaxRetries = 24
+
+	src := disk.Synth{Seed: 0x77, Label: "w"}
+	k.Spawn("client", func(p *sim.Proc) {
+		for i := int64(0); i < 8; i++ {
+			if err := in.Write(p, disk.Payload{LBA: i * 100, Count: 40, Source: src}); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+	})
+	k.Run()
+	for i := int64(0); i < 8; i++ {
+		got := make([]byte, 40*disk.SectorSize)
+		tgt.Store().ReadAt(i*100, got)
+		want := make([]byte, 40*disk.SectorSize)
+		src.Fill(i*100, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("write %d not idempotent under loss", i)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package vblade implements the AoE target: the storage server that
+// exports OS images to deploying instances.
+//
+// The paper bases its server on the vblade userspace target and observes
+// that the original is single-threaded and becomes the bottleneck under
+// heavy read load, so it adds a thread pool (§4.2). This model reproduces
+// both configurations: request service costs per-fragment CPU time on a
+// worker, and the worker pool size decides how much of that cost overlaps.
+package vblade
+
+import (
+	"repro/internal/aoe"
+	"repro/internal/ethernet"
+	"repro/internal/hw/disk"
+	"repro/internal/hw/nic"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Target is one exported device: an image-backed store addressed by
+// shelf.slot. Writes land in the store; reads prefer written data and fall
+// back to the image.
+type Target struct {
+	Major uint16
+	Minor uint8
+	Image *disk.Image
+	store *disk.Store
+}
+
+// Server is the AoE target daemon.
+type Server struct {
+	k   *sim.Kernel
+	nic *nic.NIC
+
+	targets map[uint32]*Target
+	queue   *sim.Queue[*ethernet.Frame]
+
+	// Threads is the worker-pool size; 1 reproduces original vblade.
+	Threads int
+	// PerFragCPU is the processing cost per fragment on one worker. The
+	// default calibrates a single-threaded server to saturate below
+	// gigabit line rate, as the paper observed.
+	PerFragCPU sim.Duration
+	// CopyRate is the memory copy rate for payload bytes (images are
+	// served from the server's page cache).
+	CopyRate float64
+
+	Requests     metrics.Counter
+	BytesServed  metrics.Counter
+	BytesStored  metrics.Counter
+	WriteErrors  metrics.Counter
+	UnknownDrops metrics.Counter
+}
+
+// NewServer returns a server speaking through n. Call AddTarget then Start.
+func NewServer(k *sim.Kernel, n *nic.NIC, threads int) *Server {
+	return &Server{
+		k:          k,
+		nic:        n,
+		targets:    make(map[uint32]*Target),
+		queue:      sim.NewQueue[*ethernet.Frame](k, "vblade.q"),
+		Threads:    threads,
+		PerFragCPU: 480 * sim.Microsecond,
+		CopyRate:   6e9,
+	}
+}
+
+func targetKey(major uint16, minor uint8) uint32 { return uint32(major)<<8 | uint32(minor) }
+
+// AddTarget exports image at shelf major, slot minor.
+func (s *Server) AddTarget(major uint16, minor uint8, img *disk.Image) *Target {
+	t := &Target{Major: major, Minor: minor, Image: img, store: disk.NewStore(img.Sectors)}
+	t.store.Write(0, img.Sectors, img)
+	s.targets[targetKey(major, minor)] = t
+	return t
+}
+
+// Target returns the exported target at major.minor, or nil.
+func (s *Server) Target(major uint16, minor uint8) *Target {
+	return s.targets[targetKey(major, minor)]
+}
+
+// Store exposes the target's backing store (for test setup/inspection).
+func (t *Target) Store() *disk.Store { return t.store }
+
+// Start begins receiving and spawns the worker pool.
+func (s *Server) Start() {
+	s.nic.SetOnReceive(func(f *ethernet.Frame) {
+		if f.EtherType != aoe.EtherType {
+			return
+		}
+		s.queue.Push(f)
+	})
+	for i := 0; i < s.Threads; i++ {
+		s.k.Spawn("vblade.worker", func(p *sim.Proc) {
+			for {
+				f, ok := s.queue.Pop(p)
+				if !ok {
+					return
+				}
+				s.serve(p, f)
+			}
+		})
+	}
+}
+
+// Stop closes the request queue; workers drain and exit.
+func (s *Server) Stop() { s.queue.Close() }
+
+// QueueDepth reports requests waiting for a worker.
+func (s *Server) QueueDepth() int { return s.queue.Len() }
+
+func (s *Server) serve(p *sim.Proc, f *ethernet.Frame) {
+	msg, ok := f.Payload.(*aoe.Message)
+	if !ok || msg.IsResponse() {
+		s.UnknownDrops.Inc()
+		return
+	}
+	t := s.Target(msg.Major, msg.Minor)
+	if t == nil {
+		s.UnknownDrops.Inc()
+		return
+	}
+	s.Requests.Inc()
+
+	resp := &aoe.Message{Header: msg.Header}
+	resp.Flags |= aoe.FlagResponse
+
+	lba := int64(msg.LBA)
+	count := int64(msg.Count)
+	bytes := count * disk.SectorSize
+
+	p.Sleep(s.PerFragCPU)
+	switch {
+	case lba < 0 || count <= 0 || lba+count > t.store.Sectors():
+		resp.Flags |= aoe.FlagError
+		resp.Error = 1
+		if msg.IsWrite() {
+			s.WriteErrors.Inc()
+		}
+	case msg.IsWrite():
+		p.Sleep(sim.RateDuration(bytes, s.CopyRate))
+		t.store.Write(lba, count, msg.Payload.Source)
+		s.BytesStored.Add(bytes)
+	default:
+		p.Sleep(sim.RateDuration(bytes, s.CopyRate))
+		resp.Payload = t.store.ReadPayload(lba, count)
+		s.BytesServed.Add(bytes)
+	}
+
+	s.nic.Send(&ethernet.Frame{
+		Dst:       f.Src,
+		EtherType: aoe.EtherType,
+		Payload:   resp,
+		Size:      ethernet.HeaderSize + resp.WireSize(),
+	})
+}

@@ -1,0 +1,164 @@
+// Package workload implements the paper's benchmark programs as models
+// that consume simulated CPU, memory bandwidth, and real simulated disk
+// and network I/O: YCSB driving memcached and Cassandra (§5.2), OSU MPI
+// collectives (§5.3), kernbench (§5.4), SysBench threads/memory (§5.5.1),
+// fio and ioping (§5.5.2), and the perftest RDMA microbenchmarks (§5.5.3).
+package workload
+
+import (
+	"repro/internal/guest"
+	"repro/internal/hw/disk"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// DBProfile describes a database server under a YCSB workload: base
+// bare-metal performance plus its resource sensitivities. Throughput and
+// latency shift with the platform's current slowdown, and the disk
+// traffic it generates interacts with BMcast's background copy for real.
+type DBProfile struct {
+	Name string
+	// BaseThroughput is bare-metal transactions/sec with the paper's
+	// YCSB client setup.
+	BaseThroughput float64
+	// BaseLatency is the bare-metal mean request latency.
+	BaseLatency sim.Duration
+	// MemShare is the memory-bound fraction of request processing
+	// (memcached is cache-sensitive; nested paging hits it harder).
+	MemShare float64
+	// ReadFraction of the YCSB mix.
+	ReadFraction float64
+	// LogBytesPerSec is the commit-log write stream (Cassandra's
+	// write-intensive mix); 0 for a pure in-memory store.
+	LogBytesPerSec float64
+	// FlushBytes/FlushEvery model periodic memtable flushes to disk.
+	FlushBytes int64
+	FlushEvery sim.Duration
+	// LogRegionSectors is where the log/flush writes land on disk.
+	LogRegionStart int64
+}
+
+// Memcached returns the read-intensive profile (95/5, §5.2): bare metal
+// serves ≈36.5 KT/s at ≈271 µs.
+func Memcached() DBProfile {
+	return DBProfile{
+		Name:           "memcached",
+		BaseThroughput: 36500,
+		BaseLatency:    271 * sim.Microsecond,
+		MemShare:       0.15,
+		ReadFraction:   0.95,
+		LogRegionStart: 56 << 21, // unused-space sectors (28 GB in)
+	}
+}
+
+// Cassandra returns the write-intensive profile (30/70, §5.2): bare metal
+// serves ≈60 KT/s at ≈2.44 ms, with a continuous commit-log stream and
+// periodic SSTable flushes.
+func Cassandra() DBProfile {
+	return DBProfile{
+		Name:           "cassandra",
+		BaseThroughput: 60000,
+		BaseLatency:    2443 * sim.Microsecond,
+		MemShare:       0.15,
+		ReadFraction:   0.30,
+		LogBytesPerSec: 3.5e6,
+		FlushBytes:     24 << 20,
+		FlushEvery:     20 * sim.Second,
+		LogRegionStart: 56 << 21,
+	}
+}
+
+// YCSB drives a database instance and records throughput and latency
+// series, like the paper's client instance does.
+type YCSB struct {
+	OS      *guest.OS
+	Profile DBProfile
+	// Quantum is the measurement granularity.
+	Quantum sim.Duration
+
+	Throughput metrics.Series // transactions/sec over time
+	Latency    metrics.Series // mean µs over time
+	Ops        metrics.Counter
+
+	logCursor   int64
+	flushCursor int64
+	stop        bool
+}
+
+// NewYCSB returns a benchmark bound to the guest OS under test.
+func NewYCSB(o *guest.OS, profile DBProfile) *YCSB {
+	y := &YCSB{OS: o, Profile: profile, Quantum: 500 * sim.Millisecond}
+	y.Throughput.Name = profile.Name + ".tput"
+	y.Latency.Name = profile.Name + ".lat"
+	y.logCursor = profile.LogRegionStart
+	y.flushCursor = profile.LogRegionStart + (4 << 21) // flushes 4 GB past the log
+	return y
+}
+
+// Stop ends the run after the current quantum.
+func (y *YCSB) Stop() { y.stop = true }
+
+// Run executes the benchmark for the given duration, blocking the process.
+// Each quantum the database serves requests at a rate set by the current
+// platform slowdown, writes its log/flush traffic through the real block
+// driver, and the series record what a client would measure.
+func (y *YCSB) Run(p *sim.Proc, d sim.Duration) {
+	pr := y.Profile
+	world := y.OS.M.World
+	deadline := p.Now().Add(d)
+	lastFlush := p.Now()
+	for p.Now() < deadline && !y.stop {
+		qStart := p.Now()
+		slow := world.Slowdown(pr.MemShare)
+
+		// Commit-log writes for this quantum (sequential appends).
+		if pr.LogBytesPerSec > 0 {
+			bytes := int64(pr.LogBytesPerSec * y.Quantum.Seconds())
+			y.writeStream(p, &y.logCursor, bytes, "db-log")
+		}
+		// Periodic memtable flush.
+		if pr.FlushBytes > 0 && p.Now().Sub(lastFlush) >= pr.FlushEvery {
+			lastFlush = p.Now()
+			y.writeStream(p, &y.flushCursor, pr.FlushBytes, "db-flush")
+		}
+
+		// Disk time eaten out of the quantum reduces served requests.
+		ioTime := p.Now().Sub(qStart)
+		if rest := y.Quantum - ioTime; rest > 0 {
+			p.Sleep(rest)
+		}
+		avail := 1.0 - float64(ioTime)/float64(y.Quantum)
+		if avail < 0.05 {
+			avail = 0.05
+		}
+		tput := pr.BaseThroughput / slow * avail
+		// Request latency stretches with the slowdown plus the platform's
+		// network-path latency (two hops per transaction).
+		lat := sim.Duration(float64(pr.BaseLatency)*slow) + 2*world.Overheads.NetPathLatency
+		y.Ops.Add(int64(tput * y.Quantum.Seconds()))
+		y.Throughput.Append(p.Now(), tput)
+		y.Latency.Append(p.Now(), lat.Microseconds())
+	}
+}
+
+// writeStream appends bytes at the cursor through the real driver in
+// driver-sized chunks, advancing the cursor.
+func (y *YCSB) writeStream(p *sim.Proc, cursor *int64, bytes int64, label string) {
+	src := disk.Synth{Seed: int64(len(label)) * 7919, Label: label}
+	sectors := (bytes + disk.SectorSize - 1) / disk.SectorSize
+	const logChunk = 512 // 256 KB commit-log sync granularity
+	for sectors > 0 {
+		n := sectors
+		if n > logChunk {
+			n = logChunk
+		}
+		if *cursor+n >= y.OS.M.Disk.Sectors {
+			*cursor = y.Profile.LogRegionStart // wrap the log region
+		}
+		if err := y.OS.WriteSectors(p, disk.Payload{LBA: *cursor, Count: n, Source: src}); err != nil {
+			return // treat write failures as a stalled log; throughput shows it
+		}
+		*cursor += n
+		sectors -= n
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/hw/ib"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Collective names the OSU micro-benchmark operations (§5.3).
+type Collective int
+
+// The collectives the paper's Figure 6 reports.
+const (
+	Barrier Collective = iota
+	Broadcast
+	Allreduce
+	Allgather
+	Alltoall
+	Reduce
+	Gather
+	Scatter
+)
+
+var collectiveNames = [...]string{
+	"Barrier", "Bcast", "Allreduce", "Allgather", "Alltoall", "Reduce", "Gather", "Scatter",
+}
+
+func (c Collective) String() string { return collectiveNames[c] }
+
+// AllCollectives lists every implemented collective.
+func AllCollectives() []Collective {
+	return []Collective{Barrier, Broadcast, Allreduce, Allgather, Alltoall, Reduce, Gather, Scatter}
+}
+
+// MPIRank is one process of the MPI job: a machine with its HCA.
+type MPIRank struct {
+	M    *machine.Machine
+	HCA  *ib.HCA
+	Rank int
+}
+
+// MPICluster is an MPI job across machines connected by one IB fabric.
+type MPICluster struct {
+	k     *sim.Kernel
+	Ranks []*MPIRank
+}
+
+// NewMPICluster builds a job from machines that share an IB fabric.
+func NewMPICluster(k *sim.Kernel, machines []*machine.Machine) (*MPICluster, error) {
+	c := &MPICluster{k: k}
+	for i, m := range machines {
+		if m.IB == nil {
+			return nil, fmt.Errorf("workload: machine %s has no IB HCA", m.Name)
+		}
+		c.Ranks = append(c.Ranks, &MPIRank{M: m, HCA: m.IB, Rank: i})
+	}
+	return c, nil
+}
+
+// rounds computes the per-rank communication schedule for a collective on
+// n ranks with the given message size: for each synchronized step, which
+// peer each rank exchanges with (-1 = idle). The schedules follow MPICH's
+// standard algorithms: recursive doubling for Barrier/Allreduce, binomial
+// trees for Bcast/Reduce/Gather/Scatter, ring for Allgather, pairwise for
+// Alltoall.
+func rounds(c Collective, n int) [][]int {
+	var steps [][]int
+	switch c {
+	case Barrier, Allreduce:
+		for dist := 1; dist < n; dist *= 2 {
+			step := make([]int, n)
+			for r := 0; r < n; r++ {
+				peer := r ^ dist
+				if peer < n {
+					step[r] = peer
+				} else {
+					step[r] = -1
+				}
+			}
+			steps = append(steps, step)
+		}
+	case Broadcast, Reduce, Gather, Scatter:
+		for dist := 1; dist < n; dist *= 2 {
+			step := make([]int, n)
+			for r := 0; r < n; r++ {
+				step[r] = -1
+			}
+			for r := 0; r < n; r += 2 * dist {
+				if r+dist < n {
+					step[r] = r + dist
+					step[r+dist] = r
+				}
+			}
+			steps = append(steps, step)
+		}
+	case Allgather:
+		for s := 1; s < n; s++ {
+			step := make([]int, n)
+			for r := 0; r < n; r++ {
+				step[r] = (r + s) % n // ring neighbor exchange
+			}
+			steps = append(steps, step)
+		}
+	case Alltoall:
+		for s := 1; s < n; s++ {
+			step := make([]int, n)
+			for r := 0; r < n; r++ {
+				step[r] = r ^ s
+				if step[r] >= n {
+					step[r] = -1
+				}
+			}
+			steps = append(steps, step)
+		}
+	}
+	return steps
+}
+
+// Latency measures the mean completion time of the collective with the
+// given message size over iterations, as osu_* does. Each synchronized
+// step completes when the slowest rank finishes: per-rank time is the
+// wire transfer plus per-message host processing (slowed by the
+// platform) plus a scheduling-jitter draw — the amplification that makes
+// conventional VMMs so costly on collectives.
+func (c *MPICluster) Latency(p *sim.Proc, col Collective, msgBytes int64, iterations int) sim.Duration {
+	n := len(c.Ranks)
+	steps := rounds(col, n)
+	const hostProc = 1500 * sim.Nanosecond
+	// Ring-structured collectives pipeline dependent sends around the
+	// ring, so one delayed rank convoys its successors: scheduling
+	// jitter is amplified several-fold compared to tree/doubling
+	// schedules that resynchronize globally each step.
+	skewAmp := 1
+	if col == Allgather || col == Alltoall {
+		skewAmp = 4
+	}
+	var total sim.Duration
+	for it := 0; it < iterations; it++ {
+		for _, step := range steps {
+			var worst sim.Duration
+			for r, peer := range step {
+				if peer < 0 {
+					continue
+				}
+				rank := c.Ranks[r]
+				f := rank.HCA
+				wire := sim.RateDuration(msgBytes, 3.2e9) +
+					1300*sim.Nanosecond + f.ExtraLatency + c.Ranks[peer].HCA.ExtraLatency
+				proc := sim.Duration(float64(hostProc) * rank.M.World.Slowdown(0.3))
+				jitter := rank.M.World.Overheads.Jitter(c.k.Rand()) * sim.Duration(skewAmp)
+				if d := wire + proc + jitter; d > worst {
+					worst = d
+				}
+			}
+			total += worst
+			p.Sleep(worst)
+		}
+	}
+	return total / sim.Duration(iterations)
+}
