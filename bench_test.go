@@ -21,6 +21,7 @@ import (
 	"repro/internal/hw/nic"
 	"repro/internal/sim"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 	"repro/internal/vblade"
 )
 
@@ -253,6 +254,31 @@ func BenchmarkStoreWrite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lba := int64(i*8) % (s.Sectors() - 8)
 		s.Write(lba, 8, disk.Synth{Seed: int64(i % 7)})
+	}
+}
+
+// BenchmarkTraceDisabled pins the cost of instrumentation left in place
+// with no recorder attached: every call site pays one nil pointer check
+// and nothing else (no allocations).
+func BenchmarkTraceDisabled(b *testing.B) {
+	var r *trace.Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Begin("node0", "mediator", "redirect")
+		r.Emit("node0", "cpuvirt", "vm-exit")
+		sp.End()
+	}
+}
+
+// BenchmarkTraceEnabled is the same call sequence against a live recorder,
+// for comparison with BenchmarkTraceDisabled.
+func BenchmarkTraceEnabled(b *testing.B) {
+	r := trace.NewRecorder(sim.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Begin("node0", "mediator", "redirect")
+		r.Emit("node0", "cpuvirt", "vm-exit")
+		sp.End()
 	}
 }
 

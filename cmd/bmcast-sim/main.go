@@ -5,6 +5,11 @@
 // Usage:
 //
 //	bmcast-sim [-image-gb N] [-storage ide|ahci] [-seed S] [-loss P] [-trace]
+//	           [-trace-out FILE] [-metrics]
+//
+// -trace-out writes a Chrome trace-event JSON file (load it in Perfetto or
+// chrome://tracing) with one span per deployment phase, mediated command,
+// and AoE round trip. -metrics dumps the full instrument registry.
 package main
 
 import (
@@ -23,13 +28,16 @@ func main() {
 	imageGB := flag.Float64("image-gb", 8, "OS image size in GB")
 	storage := flag.String("storage", "ahci", "storage controller: ide or ahci")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	loss := flag.Float64("loss", 0, "network frame loss rate (per hop)")
+	loss := flag.Float64("loss", 0, "frame loss rate on the node's VMM-side link")
 	trace := flag.Bool("trace", false, "print VMM trace lines")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file")
+	metricsDump := flag.Bool("metrics", false, "dump the instrument registry after the run")
 	flag.Parse()
 
 	cfg := testbed.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.ImageBytes = int64(*imageGB * float64(1<<30))
+	cfg.EnableTrace = *traceOut != ""
 	switch *storage {
 	case "ide":
 		cfg.Storage = machine.StorageIDE
@@ -48,8 +56,10 @@ func main() {
 		})
 	}
 	if *loss > 0 {
-		// Inject loss on the node's VMM-side link only.
-		fmt.Printf("injecting %.1f%% frame loss per hop\n", *loss*100)
+		// Inject loss on the node's VMM-side link only: the deployment
+		// traffic path, leaving the guest's NIC clean.
+		node.VMMLink.SetLossRate(*loss)
+		fmt.Printf("injecting %.1f%% frame loss on %s's VMM link\n", *loss*100, node.M.Name)
 	}
 
 	tb.K.Spawn("deploy", func(p *sim.Proc) {
@@ -92,4 +102,23 @@ func main() {
 		tb.K.Stop()
 	})
 	tb.K.Run()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tb.Trace.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nwrote %d spans and %d events to %s (open in Perfetto or chrome://tracing)\n",
+			len(tb.Trace.Spans()), len(tb.Trace.Events()), *traceOut)
+	}
+	if *metricsDump {
+		fmt.Printf("\nmetrics:\n")
+		tb.Metrics.Snapshot().WriteText(os.Stdout)
+	}
 }

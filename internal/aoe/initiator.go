@@ -7,6 +7,7 @@ import (
 	"repro/internal/hw/disk"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Transport is the link the initiator speaks through: a dedicated NIC in
@@ -49,6 +50,24 @@ type Initiator struct {
 	Retransmits    metrics.Counter
 	BytesRead      metrics.Counter
 	BytesWritten   metrics.Counter
+
+	// Observability (see Instrument): one round-trip span per request.
+	node string
+	tr   *trace.Recorder
+}
+
+// Instrument adopts the initiator's counters into reg under "aoe.*" names
+// labeled with the node, and makes every request record a round-trip span
+// on tr (nil tr: no spans). No-op counters on a nil registry.
+func (in *Initiator) Instrument(reg *metrics.Registry, tr *trace.Recorder, node string) {
+	in.node, in.tr = node, tr
+	l := metrics.L("node", node)
+	reg.RegisterCounter("aoe.requests", &in.Requests, l)
+	reg.RegisterCounter("aoe.fragments_sent", &in.FragmentsSent, l)
+	reg.RegisterCounter("aoe.fragments_recvd", &in.FragmentsRecvd, l)
+	reg.RegisterCounter("aoe.retransmits", &in.Retransmits, l)
+	reg.RegisterCounter("aoe.bytes_read", &in.BytesRead, l)
+	reg.RegisterCounter("aoe.bytes_written", &in.BytesWritten, l)
 }
 
 type pendingReq struct {
@@ -195,6 +214,13 @@ func (in *Initiator) run(p *sim.Proc, pr *pendingReq) error {
 	in.pending[reqID] = pr
 	defer delete(in.pending, reqID)
 	in.Requests.Inc()
+	name := "read"
+	if pr.write {
+		name = "write"
+	}
+	sp := in.tr.Begin(in.node, "aoe", name,
+		trace.Int("lba", pr.lba), trace.Int("count", pr.count), trace.Int("frags", int64(pr.frags)))
+	defer sp.End()
 
 	for f := 0; f < pr.frags; f++ {
 		in.sendFragment(pr, reqID, f)

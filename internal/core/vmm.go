@@ -12,6 +12,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Phase is the deployment lifecycle state (paper §3.1, Figure 1).
@@ -35,6 +36,22 @@ func (p Phase) String() string {
 		return "de-virtualization"
 	default:
 		return "bare-metal"
+	}
+}
+
+// SpanName is the phase's span name in the deployment trace (category
+// "phase"). These are part of the trace format and stay CamelCase even
+// though String is free-form.
+func (p Phase) SpanName() string {
+	switch p {
+	case PhaseInitialization:
+		return "Initialization"
+	case PhaseDeployment:
+		return "Deployment"
+	case PhaseDevirtualization:
+		return "Devirtualization"
+	default:
+		return "BareMetal"
 	}
 }
 
@@ -142,6 +159,17 @@ type VMM struct {
 	CopiedBytes  metrics.Counter
 	Suspends     metrics.Counter
 	GuestIOs     metrics.Counter
+	// BitmapHits/BitmapMisses classify AllFilled checks: a hit means the
+	// guest's read needs no redirection. CopyConflicts counts background
+	// writes cancelled by the insertion guard because a racing guest write
+	// filled the run first (guest-write-wins, §3.3).
+	BitmapHits    metrics.Counter
+	BitmapMisses  metrics.Counter
+	CopyConflicts metrics.Counter
+
+	// phaseSpan is the open span of the current lifecycle phase (category
+	// "phase" on the machine's trace recorder; nil recorder: nil spans).
+	phaseSpan *trace.Span
 }
 
 // Boot network-boots the VMM on machine m and enters the deployment
@@ -161,6 +189,16 @@ func Boot(p *sim.Proc, m *machine.Machine, cfg Config, vmmNIC int, serverMAC eth
 		fifo:         sim.NewQueue[disk.Payload](m.K, m.Name+".vmm.fifo"),
 		inflight:     make(map[int64]int64),
 	}
+	v.phaseSpan = m.Trace.Begin(m.Name, "phase", PhaseInitialization.SpanName())
+	l := metrics.L("node", m.Name)
+	m.Metrics.RegisterCounter("vmm.fetched_bytes", &v.FetchedBytes, l)
+	m.Metrics.RegisterCounter("vmm.copied_bytes", &v.CopiedBytes, l)
+	m.Metrics.RegisterCounter("vmm.suspends", &v.Suspends, l)
+	m.Metrics.RegisterCounter("vmm.guest_ios", &v.GuestIOs, l)
+	m.Metrics.RegisterCounter("vmm.bitmap_hits", &v.BitmapHits, l)
+	m.Metrics.RegisterCounter("vmm.bitmap_misses", &v.BitmapMisses, l)
+	m.Metrics.RegisterCounter("vmm.copy_conflicts", &v.CopyConflicts, l)
+	m.World.Instrument(m.Metrics, m.Trace, m.Name)
 
 	// Initialization phase: minimal VMM boot — only the dedicated NIC is
 	// initialized; all other devices are left for the guest (§3.1).
@@ -172,6 +210,7 @@ func Boot(p *sim.Proc, m *machine.Machine, cfg Config, vmmNIC int, serverMAC eth
 	m.World.Overheads.SchedJitter = cfg.DeployJitter
 
 	v.init = aoe.NewInitiator(m.K, m.NICs[vmmNIC], serverMAC, major, minor)
+	v.init.Instrument(m.Metrics, m.Trace, m.Name)
 	v.init.SetPolled(v.PollInterval) // the VMM's NIC drivers are polled (§4.3)
 	v.bitmap = NewBitmap(imageSectors)
 
@@ -194,6 +233,7 @@ func Boot(p *sim.Proc, m *machine.Machine, cfg Config, vmmNIC int, serverMAC eth
 		v.med = md
 	}
 	v.med.Attach()
+	v.med.Stats().Register(m.Metrics, m.Name)
 	v.BootedAt = p.Now()
 	v.setPhase(PhaseDeployment)
 
@@ -207,6 +247,8 @@ func (v *VMM) Phase() Phase { return v.phase }
 
 func (v *VMM) setPhase(ph Phase) {
 	v.phase = ph
+	v.phaseSpan.End()
+	v.phaseSpan = v.M.Trace.Begin(v.M.Name, "phase", ph.SpanName())
 	v.M.K.Tracef("%s: vmm phase -> %s", v.M.Name, ph)
 	v.PhaseChanged.Broadcast()
 }
@@ -242,10 +284,12 @@ func (v *VMM) clip(lba, count int64) (int64, int64) {
 // AllFilled implements mediator.Backend.
 func (v *VMM) AllFilled(lba, count int64) bool {
 	lba, count = v.clip(lba, count)
-	if count == 0 {
+	if count == 0 || v.bitmap.AllFilled(lba, count) {
+		v.BitmapHits.Inc()
 		return true
 	}
-	return v.bitmap.AllFilled(lba, count)
+	v.BitmapMisses.Inc()
+	return false
 }
 
 // UnfilledRuns implements mediator.Backend.
@@ -386,7 +430,10 @@ func (v *VMM) retriever(p *sim.Proc) {
 			break // image complete
 		}
 		cursor = run.End()
+		sp := v.M.Trace.Begin(v.M.Name, "vmm", "bg-fetch",
+			trace.Int("lba", run.LBA), trace.Int("count", run.Count))
 		pl, err := v.Fetch(p, run.LBA, run.Count)
+		sp.End()
 		if err != nil {
 			v.M.K.Tracef("%s: background fetch failed at %d: %v", v.M.Name, run.LBA, err)
 			p.Sleep(100 * sim.Millisecond) // back off and retry
@@ -441,7 +488,10 @@ func (v *VMM) writer(p *sim.Proc) {
 		}
 		pace := float64(v.Cfg.WriteInterval) * (1 + v.GuestIORate()/v.Cfg.GuestIOFreqThreshold)
 		p.Sleep(sim.Duration(pace))
+		sp := v.M.Trace.Begin(v.M.Name, "vmm", "bg-write",
+			trace.Int("lba", pl.LBA), trace.Int("count", pl.Count))
 		v.writeBlock(p, pl)
+		sp.End()
 		delete(v.inflight, pl.LBA)
 	}
 	if v.bitmap.Complete() && v.phase == PhaseDeployment && !v.stopped {
@@ -473,6 +523,8 @@ func (v *VMM) writeBlock(p *sim.Proc, pl disk.Payload) {
 				v.CopiedBytes.Add(run.Count * disk.SectorSize)
 				v.M.World.RecordVMMWork(v.Cfg.CopyCPUPerBlock / 2)
 				progressed = true
+			} else {
+				v.CopyConflicts.Inc() // a racing guest write won (§3.3)
 			}
 		}
 		if !progressed {

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ExitReason classifies VM exits.
@@ -79,6 +81,15 @@ type World struct {
 
 	exitCounts [numExitReasons]int64
 	exitTime   sim.Duration // total guest time consumed by exits
+
+	// Instrumentation (see Instrument): per-reason registry counters and
+	// cost histograms, plus a trace recorder emitting one vm-exit event
+	// per exit. All nil until instrumented; Exit pays one pointer check
+	// each when they are.
+	node  string
+	tr    *trace.Recorder
+	exitC *[numExitReasons]*metrics.Counter
+	exitH *[numExitReasons]*metrics.Histogram
 
 	// vmmWork accumulates CPU time spent by VMM threads (polling, copy
 	// engines); Tax derives the recent fraction of machine CPU it uses.
@@ -176,6 +187,22 @@ func (w *World) NestedPagingOff() bool {
 	return true
 }
 
+// Instrument registers per-exit-reason counters ("cpuvirt.exits") and
+// cost histograms ("cpuvirt.exit_cost") labeled by node and reason into
+// reg, and makes every subsequent Exit emit a "vm-exit" instant event
+// on tr (nil tr: no events). Call once per deployment, before traffic.
+func (w *World) Instrument(reg *metrics.Registry, tr *trace.Recorder, node string) {
+	w.node = node
+	w.tr = tr
+	var cs [numExitReasons]*metrics.Counter
+	var hs [numExitReasons]*metrics.Histogram
+	for r := ExitReason(0); r < numExitReasons; r++ {
+		cs[r] = reg.Counter("cpuvirt.exits", metrics.L("node", node), metrics.L("exit_reason", r.String()))
+		hs[r] = reg.Histogram("cpuvirt.exit_cost", metrics.L("node", node), metrics.L("exit_reason", r.String()))
+	}
+	w.exitC, w.exitH = &cs, &hs
+}
+
 // Exit charges one VM exit of the given reason to the calling guest
 // context. When p is nil only accounting happens (for exits modeled in
 // aggregate).
@@ -184,6 +211,13 @@ func (w *World) Exit(p *sim.Proc, r ExitReason) {
 	c := w.costs[r]
 	w.exitTime += c
 	w.RecordVMMWork(c)
+	if w.exitC != nil {
+		w.exitC[r].Inc()
+		w.exitH[r].Observe(c)
+	}
+	if w.tr != nil {
+		w.tr.Emit(w.node, "cpuvirt", "vm-exit", trace.Str("reason", r.String()))
+	}
 	if p != nil {
 		p.Sleep(c)
 	}

@@ -7,6 +7,7 @@ package ethernet
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -66,8 +67,9 @@ type direction struct {
 	k         *sim.Kernel
 	p         LinkParams
 	busyUntil sim.Time
-	dropped   int64
-	delivered int64
+	dropped   metrics.Counter
+	delivered metrics.Counter
+	bytes     metrics.Counter // bytes serialized (delivered frames only)
 }
 
 // transmit schedules delivery of f to port after serialization and
@@ -85,10 +87,11 @@ func (d *direction) transmit(f *Frame, port Port) sim.Time {
 	done := start.Add(ser)
 	d.busyUntil = done
 	if d.p.LossRate > 0 && d.k.Rand().Float64() < d.p.LossRate {
-		d.dropped++
+		d.dropped.Inc()
 		return done
 	}
-	d.delivered++
+	d.delivered.Inc()
+	d.bytes.Add(f.Size)
 	d.k.At(done.Add(d.p.Propagation), func() { port.Deliver(f) })
 	return done
 }
@@ -141,10 +144,24 @@ func (l *Link) SetLossRate(r float64) {
 }
 
 // Dropped reports frames dropped in both directions.
-func (l *Link) Dropped() int64 { return l.a2b.dropped + l.b2a.dropped }
+func (l *Link) Dropped() int64 { return l.a2b.dropped.Value() + l.b2a.dropped.Value() }
 
 // Delivered reports frames delivered in both directions.
-func (l *Link) Delivered() int64 { return l.a2b.delivered + l.b2a.delivered }
+func (l *Link) Delivered() int64 { return l.a2b.delivered.Value() + l.b2a.delivered.Value() }
+
+// Bytes reports bytes carried by delivered frames in both directions.
+func (l *Link) Bytes() int64 { return l.a2b.bytes.Value() + l.b2a.bytes.Value() }
+
+// Instrument registers the link's per-direction frame, byte, and drop
+// counters into reg under the given link name ("tx" is station→switch,
+// "rx" the reverse). No-op on a nil registry.
+func (l *Link) Instrument(reg *metrics.Registry, name string) {
+	for dir, d := range map[string]*direction{"tx": l.a2b, "rx": l.b2a} {
+		reg.RegisterCounter("ethernet.frames", &d.delivered, metrics.L("link", name), metrics.L("dir", dir))
+		reg.RegisterCounter("ethernet.bytes", &d.bytes, metrics.L("link", name), metrics.L("dir", dir))
+		reg.RegisterCounter("ethernet.dropped", &d.dropped, metrics.L("link", name), metrics.L("dir", dir))
+	}
+}
 
 // Switch is a store-and-forward learning switch. Stations connect through
 // links; the switch learns source MACs and floods unknown destinations.

@@ -18,7 +18,9 @@ import (
 	hwio "repro/internal/hw/io"
 	"repro/internal/hw/mem"
 	"repro/internal/hw/nic"
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // StorageKind selects the machine's disk controller type.
@@ -80,6 +82,12 @@ type Machine struct {
 
 	NICs []*nic.NIC
 	IB   *ib.HCA
+
+	// Trace and Metrics are the machine's observability sinks, set by the
+	// testbed (or left nil). Components reached through the machine (VMM,
+	// mediators) record into them; all recording is nil-safe.
+	Trace   *trace.Recorder
+	Metrics *metrics.Registry
 }
 
 // New assembles a machine on kernel k.

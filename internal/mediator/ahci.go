@@ -10,6 +10,7 @@ import (
 	"repro/internal/hw/mem"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // vmmSlot is the command slot the mediator reserves for its own requests.
@@ -225,11 +226,13 @@ func (md *AHCI) dispatch(cmd ahciCommand) bool {
 	}
 	if cmd.write {
 		md.backend.GuestWrote(cmd.lba, cmd.count)
+		md.stats.PassedThrough.Inc()
 		md.rearmHint(cmd)
 		return false
 	}
 	md.backend.GuestRead(cmd.lba, cmd.count)
 	if md.backend.AllFilled(cmd.lba, cmd.count) {
+		md.stats.PassedThrough.Inc()
 		md.rearmHint(cmd)
 		return false
 	}
@@ -326,6 +329,9 @@ func (md *AHCI) vmmSlotOp(p *sim.Proc, write bool, payload disk.Payload, keepIRQ
 
 // redirect performs copy-on-read for one intercepted guest read slot.
 func (md *AHCI) redirect(p *sim.Proc, cmd ahciCommand) {
+	sp := md.m.Trace.Begin(md.m.Name, "mediator", "redirect",
+		trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	defer sp.End()
 	md.acquire(p)
 	defer md.release(p)
 
@@ -366,6 +372,9 @@ func (md *AHCI) redirect(p *sim.Proc, cmd ahciCommand) {
 
 // protectAccess hides the VMM's bitmap region from the guest.
 func (md *AHCI) protectAccess(p *sim.Proc, cmd ahciCommand) {
+	sp := md.m.Trace.Begin(md.m.Name, "mediator", "protect",
+		trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	defer sp.End()
 	md.acquire(p)
 	defer md.release(p)
 	if !cmd.write && !cmd.hintDiscard {
@@ -424,6 +433,9 @@ func (md *AHCI) copyToGuestPRDT(cmd ahciCommand, parts []disk.Payload) {
 
 // InsertWrite implements Mediator.
 func (md *AHCI) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool) bool {
+	sp := md.m.Trace.Begin(md.m.Name, "mediator", "insert-write",
+		trace.Int("lba", payload.LBA), trace.Int("count", payload.Count))
+	defer sp.End()
 	md.acquire(p)
 	defer md.release(p)
 	if guard != nil && !guard() {
@@ -437,6 +449,9 @@ func (md *AHCI) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool
 
 // InsertRead implements Mediator.
 func (md *AHCI) InsertRead(p *sim.Proc, lba, count int64) (disk.Payload, bool) {
+	sp := md.m.Trace.Begin(md.m.Name, "mediator", "insert-read",
+		trace.Int("lba", lba), trace.Int("count", count))
+	defer sp.End()
 	md.acquire(p)
 	defer md.release(p)
 	md.vmmSlotOp(p, false, disk.Payload{LBA: lba, Count: count}, false)

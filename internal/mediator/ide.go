@@ -10,6 +10,7 @@ import (
 	"repro/internal/hw/mem"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ideMode is the mediator's high-level state.
@@ -277,11 +278,13 @@ func (md *IDE) dispatch(cmd ideCommand) bool {
 	}
 	if cmd.write {
 		md.backend.GuestWrote(cmd.lba, cmd.count)
+		md.stats.PassedThrough.Inc()
 		md.rearmHint(cmd)
 		return false
 	}
 	md.backend.GuestRead(cmd.lba, cmd.count)
 	if md.backend.AllFilled(cmd.lba, cmd.count) {
+		md.stats.PassedThrough.Inc()
 		md.rearmHint(cmd)
 		return false
 	}
@@ -302,6 +305,9 @@ func (md *IDE) rearmHint(cmd ideCommand) {
 
 // redirect performs copy-on-read for one intercepted guest read.
 func (md *IDE) redirect(p *sim.Proc, cmd ideCommand) {
+	sp := md.m.Trace.Begin(md.m.Name, "mediator", "redirect",
+		trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	defer sp.End()
 	md.devLock.Acquire(p)
 	defer md.devLock.Release()
 
@@ -352,6 +358,9 @@ func (md *IDE) redirect(p *sim.Proc, cmd ideCommand) {
 // protectAccess handles guest access to the VMM's bitmap save region: the
 // data never moves, but the device still generates a completion interrupt.
 func (md *IDE) protectAccess(p *sim.Proc, cmd ideCommand) {
+	sp := md.m.Trace.Begin(md.m.Name, "mediator", "protect",
+		trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	defer sp.End()
 	md.devLock.Acquire(p)
 	defer md.devLock.Release()
 	if !cmd.write && !cmd.hintDiscard {
@@ -491,6 +500,9 @@ func (md *IDE) dummyRestart(p *sim.Proc) {
 
 // InsertWrite implements Mediator: background-copy multiplexing.
 func (md *IDE) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool) bool {
+	sp := md.m.Trace.Begin(md.m.Name, "mediator", "insert-write",
+		trace.Int("lba", payload.LBA), trace.Int("count", payload.Count))
+	defer sp.End()
 	md.devLock.Acquire(p)
 	defer md.devLock.Release()
 	md.waitDeviceIdle(p)
@@ -507,6 +519,9 @@ func (md *IDE) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool)
 
 // InsertRead implements Mediator.
 func (md *IDE) InsertRead(p *sim.Proc, lba, count int64) (disk.Payload, bool) {
+	sp := md.m.Trace.Begin(md.m.Name, "mediator", "insert-read",
+		trace.Int("lba", lba), trace.Int("count", count))
+	defer sp.End()
 	md.devLock.Acquire(p)
 	defer md.devLock.Release()
 	md.waitDeviceIdle(p)

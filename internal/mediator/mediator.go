@@ -90,6 +90,7 @@ type Mediator interface {
 // Stats are the mediation counters every mediator maintains.
 type Stats struct {
 	GuestCommands  metrics.Counter // guest commands observed
+	PassedThrough  metrics.Counter // data commands passed to the device untouched
 	Redirects      metrics.Counter // copy-on-read redirections
 	RedirectBytes  metrics.Counter
 	Inserted       metrics.Counter // VMM requests multiplexed in
@@ -98,4 +99,20 @@ type Stats struct {
 	DummyRestarts  metrics.Counter // interrupt-generation dummy reads
 	Polls          metrics.Counter // polling iterations
 	ProtectedHits  metrics.Counter // guest accesses to the protected area
+}
+
+// Register adopts the mediator's counters into reg under "mediator.*"
+// names labeled with the node. No-op on a nil registry.
+func (s *Stats) Register(reg *metrics.Registry, node string) {
+	l := metrics.L("node", node)
+	reg.RegisterCounter("mediator.guest_commands", &s.GuestCommands, l)
+	reg.RegisterCounter("mediator.passed_through", &s.PassedThrough, l)
+	reg.RegisterCounter("mediator.redirects", &s.Redirects, l)
+	reg.RegisterCounter("mediator.redirect_bytes", &s.RedirectBytes, l)
+	reg.RegisterCounter("mediator.inserted", &s.Inserted, l)
+	reg.RegisterCounter("mediator.inserted_bytes", &s.InsertedBytes, l)
+	reg.RegisterCounter("mediator.queued_commands", &s.QueuedCommands, l)
+	reg.RegisterCounter("mediator.dummy_restarts", &s.DummyRestarts, l)
+	reg.RegisterCounter("mediator.polls", &s.Polls, l)
+	reg.RegisterCounter("mediator.protected_hits", &s.ProtectedHits, l)
 }

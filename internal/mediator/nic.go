@@ -62,6 +62,17 @@ type SharedNIC struct {
 	Traps         metrics.Counter
 }
 
+// Instrument adopts the shared-NIC mediator's counters into reg under
+// "mediator.nic.*" names labeled with the node. No-op on a nil registry.
+func (md *SharedNIC) Instrument(reg *metrics.Registry, node string) {
+	l := metrics.L("node", node)
+	reg.RegisterCounter("mediator.nic.guest_tx_frames", &md.GuestTxFrames, l)
+	reg.RegisterCounter("mediator.nic.guest_rx_frames", &md.GuestRxFrames, l)
+	reg.RegisterCounter("mediator.nic.vmm_tx_frames", &md.VMMTxFrames, l)
+	reg.RegisterCounter("mediator.nic.vmm_rx_frames", &md.VMMRxFrames, l)
+	reg.RegisterCounter("mediator.nic.traps", &md.Traps, l)
+}
+
 // Shadow ring geometry within the VMM region.
 const (
 	snicTXOff   = 0x10000

@@ -80,7 +80,16 @@ func (h *Histogram) Min() sim.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	return h.Percentile(0.0001)
+	if h.sorted {
+		return h.samples[0]
+	}
+	min := h.samples[0]
+	for _, s := range h.samples[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
 }
 
 // Max reports the largest sample, or 0 with no samples.

@@ -149,3 +149,130 @@ func TestWindowSkipsEmptyIntervals(t *testing.T) {
 		}
 	}
 }
+
+// --- pinned Min/Max/Percentile edge cases --------------------------------
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(7 * sim.Millisecond)
+	for _, p := range []float64{0.0001, 1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 7*sim.Millisecond {
+			t.Fatalf("n=1 p%v = %v, want 7ms", p, got)
+		}
+	}
+	if h.Min() != 7*sim.Millisecond || h.Max() != 7*sim.Millisecond {
+		t.Fatalf("n=1 min/max = %v/%v, want 7ms/7ms", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramTwoSamples(t *testing.T) {
+	var h Histogram
+	h.Observe(20 * sim.Millisecond)
+	h.Observe(10 * sim.Millisecond)
+	if h.Min() != 10*sim.Millisecond {
+		t.Fatalf("n=2 Min = %v, want 10ms", h.Min())
+	}
+	if h.Max() != 20*sim.Millisecond {
+		t.Fatalf("n=2 Max = %v, want 20ms", h.Max())
+	}
+	// Nearest-rank: p50 of two samples is exactly rank 1, p50+ε rank 2.
+	if got := h.Percentile(50); got != 10*sim.Millisecond {
+		t.Fatalf("n=2 p50 = %v, want 10ms", got)
+	}
+	if got := h.Percentile(50.1); got != 20*sim.Millisecond {
+		t.Fatalf("n=2 p50.1 = %v, want 20ms", got)
+	}
+}
+
+func TestHistogramPercentileExactRankBoundaries(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Observe(sim.Duration(i) * sim.Millisecond)
+	}
+	// With n=10, p = 10k% falls exactly on rank k (nearest-rank ceiling).
+	for k := 1; k <= 10; k++ {
+		want := sim.Duration(k) * sim.Millisecond
+		if got := h.Percentile(float64(k) * 10); got != want {
+			t.Fatalf("p%d = %v, want %v", k*10, got, want)
+		}
+	}
+	// Just above a rank boundary moves to the next sample.
+	if got := h.Percentile(10.01); got != 2*sim.Millisecond {
+		t.Fatalf("p10.01 = %v, want 2ms", got)
+	}
+	// Min must be the true smallest sample, not a percentile artifact.
+	if got := h.Min(); got != sim.Millisecond {
+		t.Fatalf("Min = %v, want 1ms", got)
+	}
+}
+
+func TestHistogramMinUnsortedDirect(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * sim.Millisecond)
+	h.Observe(3 * sim.Millisecond)
+	h.Observe(9 * sim.Millisecond)
+	// Min before any Percentile call exercises the unsorted scan path.
+	if got := h.Min(); got != 3*sim.Millisecond {
+		t.Fatalf("unsorted Min = %v, want 3ms", got)
+	}
+}
+
+// --- Window boundary and flush semantics ---------------------------------
+
+func TestWindowBoundaryEvent(t *testing.T) {
+	w := NewWindow("tput", sim.Second)
+	w.Add(sim.Time(500*sim.Millisecond), 100)
+	// An event landing exactly on the window boundary belongs to the new
+	// window: the old one is flushed first.
+	w.Add(sim.Time(sim.Second), 50)
+	w.Flush(sim.Time(2 * sim.Second))
+	pts := w.Series.Points
+	if len(pts) != 2 {
+		t.Fatalf("got %d windows, want 2", len(pts))
+	}
+	if pts[0].V != 100 {
+		t.Fatalf("window 0 rate = %v, want 100/s", pts[0].V)
+	}
+	if pts[1].V != 50 {
+		t.Fatalf("window 1 rate = %v, want 50/s (boundary event counts forward)", pts[1].V)
+	}
+	if pts[0].T != sim.Time(sim.Second) || pts[1].T != sim.Time(2*sim.Second) {
+		t.Fatalf("window end times = %v, %v", pts[0].T, pts[1].T)
+	}
+}
+
+func TestWindowMultiGapZeroPoints(t *testing.T) {
+	w := NewWindow("tput", 100*sim.Millisecond)
+	w.Add(sim.Time(50*sim.Millisecond), 1)
+	w.Add(sim.Time(350*sim.Millisecond), 1) // two empty windows in between
+	w.Flush(sim.Time(400 * sim.Millisecond))
+	pts := w.Series.Points
+	if len(pts) != 4 {
+		t.Fatalf("got %d windows, want 4", len(pts))
+	}
+	wantRates := []float64{10, 0, 0, 10}
+	for i, want := range wantRates {
+		if pts[i].V != want {
+			t.Fatalf("window %d rate = %v, want %v", i, pts[i].V, want)
+		}
+	}
+}
+
+func TestWindowFlushIdempotent(t *testing.T) {
+	w := NewWindow("tput", sim.Second)
+	w.Add(sim.Time(200*sim.Millisecond), 42)
+	w.Flush(sim.Time(3 * sim.Second))
+	n := len(w.Series.Points)
+	w.Flush(sim.Time(3 * sim.Second)) // same instant: no new points
+	if len(w.Series.Points) != n {
+		t.Fatalf("repeated Flush added points: %d -> %d", n, len(w.Series.Points))
+	}
+	w.Flush(sim.Time(3*sim.Second) + sim.Time(500*sim.Millisecond)) // mid-window: still nothing
+	if len(w.Series.Points) != n {
+		t.Fatalf("mid-window Flush added points: %d -> %d", n, len(w.Series.Points))
+	}
+	w.Flush(sim.Time(4 * sim.Second)) // next boundary: exactly one zero point
+	if len(w.Series.Points) != n+1 || w.Series.Points[n].V != 0 {
+		t.Fatalf("boundary Flush: %d points, last %v", len(w.Series.Points), w.Series.Points[len(w.Series.Points)-1])
+	}
+}

@@ -1,0 +1,289 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Label is one dimension of an instrument's identity (node, device,
+// exit_reason, ...).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Gauge holds a last-written value (e.g. a queue depth or rate).
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) { g.v += delta }
+
+// Value reports the current gauge value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Registry is a labeled instrument registry: counters, gauges, and
+// histograms registered by name plus labels, snapshotted as one
+// consistent view for programmatic assertions or a text dump.
+//
+// Instruments are obtained once (get-or-create or by adopting an
+// already-embedded instrument) and then updated directly, so the hot
+// path never pays a map lookup. Registration is mutex-guarded so
+// concurrent setup under -race is safe; instrument updates follow the
+// simulation's single-active-goroutine discipline.
+//
+// A nil *Registry is valid: getters return live but unregistered
+// instruments and Register* calls are no-ops, so instrumented code
+// needs no registry-presence branches.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	name   string
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// key canonicalizes name+labels; labels are order-insensitive.
+func key(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) upsert(name string, labels []Label, fill func(*entry)) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := key(name, labels)
+	e, ok := r.entries[id]
+	if !ok {
+		e = &entry{name: name, labels: append([]Label(nil), labels...)}
+		r.entries[id] = e
+	}
+	fill(e)
+	return e
+}
+
+// Counter returns the counter registered under name+labels, creating it
+// if needed. On a nil registry it returns a fresh unregistered counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	e := r.upsert(name, labels, func(e *entry) {
+		if e.c == nil {
+			e.c = &Counter{}
+		}
+	})
+	return e.c
+}
+
+// Gauge returns the gauge registered under name+labels, creating it if
+// needed. On a nil registry it returns a fresh unregistered gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	e := r.upsert(name, labels, func(e *entry) {
+		if e.g == nil {
+			e.g = &Gauge{}
+		}
+	})
+	return e.g
+}
+
+// Histogram returns the histogram registered under name+labels,
+// creating it if needed. On a nil registry it returns a fresh
+// unregistered histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	e := r.upsert(name, labels, func(e *entry) {
+		if e.h == nil {
+			e.h = &Histogram{}
+		}
+	})
+	return e.h
+}
+
+// RegisterCounter adopts an existing counter (typically embedded in a
+// component's stats struct) under name+labels. Re-registering the same
+// identity replaces the previous instrument. No-op on a nil registry.
+func (r *Registry) RegisterCounter(name string, c *Counter, labels ...Label) {
+	if r == nil || c == nil {
+		return
+	}
+	r.upsert(name, labels, func(e *entry) { e.c = c })
+}
+
+// RegisterGauge adopts an existing gauge under name+labels.
+func (r *Registry) RegisterGauge(name string, g *Gauge, labels ...Label) {
+	if r == nil || g == nil {
+		return
+	}
+	r.upsert(name, labels, func(e *entry) { e.g = g })
+}
+
+// RegisterHistogram adopts an existing histogram under name+labels.
+func (r *Registry) RegisterHistogram(name string, h *Histogram, labels ...Label) {
+	if r == nil || h == nil {
+		return
+	}
+	r.upsert(name, labels, func(e *entry) { e.h = h })
+}
+
+// Sample is one instrument's state inside a Snapshot.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Kind   string // "counter", "gauge", or "histogram"
+
+	// Value holds the counter count or gauge value.
+	Value float64
+
+	// Histogram summary (Kind == "histogram").
+	Count int
+	Mean  sim.Duration
+	Min   sim.Duration
+	Max   sim.Duration
+	P50   sim.Duration
+	P99   sim.Duration
+}
+
+// Snapshot is a consistent, sorted view of every registered instrument.
+type Snapshot struct {
+	Samples []Sample
+}
+
+// Snapshot captures every instrument, sorted by canonical identity so
+// output is deterministic. On a nil registry it returns an empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	entries := make([]*entry, len(ids))
+	for i, id := range ids {
+		entries[i] = r.entries[id]
+	}
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		if e.c != nil {
+			snap.Samples = append(snap.Samples, Sample{
+				Name: e.name, Labels: e.labels, Kind: "counter", Value: float64(e.c.Value()),
+			})
+		}
+		if e.g != nil {
+			snap.Samples = append(snap.Samples, Sample{
+				Name: e.name, Labels: e.labels, Kind: "gauge", Value: e.g.Value(),
+			})
+		}
+		if e.h != nil {
+			snap.Samples = append(snap.Samples, Sample{
+				Name: e.name, Labels: e.labels, Kind: "histogram",
+				Count: e.h.Count(), Mean: e.h.Mean(),
+				Min: e.h.Min(), Max: e.h.Max(),
+				P50: e.h.Percentile(50), P99: e.h.Percentile(99),
+			})
+		}
+	}
+	return snap
+}
+
+// Get returns the sample registered under name+labels, if present.
+func (s Snapshot) Get(name string, labels ...Label) (Sample, bool) {
+	id := key(name, labels)
+	for _, sample := range s.Samples {
+		if key(sample.Name, sample.Labels) == id {
+			return sample, true
+		}
+	}
+	return Sample{}, false
+}
+
+// CounterValue returns the counter value under name+labels, or 0.
+func (s Snapshot) CounterValue(name string, labels ...Label) int64 {
+	sample, ok := s.Get(name, labels...)
+	if !ok || sample.Kind != "counter" {
+		return 0
+	}
+	return int64(sample.Value)
+}
+
+// Prefixed returns the samples whose name starts with prefix — the
+// per-subsystem view (e.g. everything under "cpuvirt.").
+func (s Snapshot) Prefixed(prefix string) []Sample {
+	var out []Sample
+	for _, sample := range s.Samples {
+		if strings.HasPrefix(sample.Name, prefix) {
+			out = append(out, sample)
+		}
+	}
+	return out
+}
+
+// WriteText renders the snapshot as an aligned text dump for the CLIs.
+func (s Snapshot) WriteText(w io.Writer) {
+	width := 0
+	for _, sample := range s.Samples {
+		if n := len(key(sample.Name, sample.Labels)); n > width {
+			width = n
+		}
+	}
+	for _, sample := range s.Samples {
+		id := key(sample.Name, sample.Labels)
+		switch sample.Kind {
+		case "counter":
+			fmt.Fprintf(w, "counter    %-*s %d\n", width, id, int64(sample.Value))
+		case "gauge":
+			fmt.Fprintf(w, "gauge      %-*s %g\n", width, id, sample.Value)
+		default:
+			fmt.Fprintf(w, "histogram  %-*s n=%d mean=%v min=%v p50=%v p99=%v max=%v\n",
+				width, id, sample.Count, sample.Mean, sample.Min, sample.P50, sample.P99, sample.Max)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("aoe.retransmits", L("node", "node0"))
+	c2 := r.Counter("aoe.retransmits", L("node", "node0"))
+	if c1 != c2 {
+		t.Fatal("same identity returned distinct counters")
+	}
+	c3 := r.Counter("aoe.retransmits", L("node", "node1"))
+	if c1 == c3 {
+		t.Fatal("distinct labels share a counter")
+	}
+	c1.Add(3)
+	if got := r.Snapshot().CounterValue("aoe.retransmits", L("node", "node0")); got != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", got)
+	}
+}
+
+func TestRegistryLabelOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", L("a", "1"), L("b", "2"))
+	b := r.Counter("x", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order changed instrument identity")
+	}
+}
+
+func TestRegistryAdoptExisting(t *testing.T) {
+	r := NewRegistry()
+	var stats struct {
+		Redirects Counter
+	}
+	r.RegisterCounter("mediator.redirects", &stats.Redirects, L("node", "node0"))
+	stats.Redirects.Add(7)
+	if got := r.Snapshot().CounterValue("mediator.redirects", L("node", "node0")); got != 7 {
+		t.Fatalf("adopted counter snapshot = %d, want 7", got)
+	}
+	// Re-registering the same identity replaces the instrument.
+	var fresh Counter
+	fresh.Add(1)
+	r.RegisterCounter("mediator.redirects", &fresh, L("node", "node0"))
+	if got := r.Snapshot().CounterValue("mediator.redirects", L("node", "node0")); got != 1 {
+		t.Fatalf("replaced counter snapshot = %d, want 1", got)
+	}
+}
+
+func TestRegistryGaugeAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("vblade.queue_depth")
+	g.Set(4)
+	g.Add(-1)
+	h := r.Histogram("cpuvirt.exit_cost", L("reason", "pio"))
+	h.Observe(1200 * sim.Nanosecond)
+	h.Observe(800 * sim.Nanosecond)
+
+	snap := r.Snapshot()
+	gs, ok := snap.Get("vblade.queue_depth")
+	if !ok || gs.Kind != "gauge" || gs.Value != 3 {
+		t.Fatalf("gauge sample = %+v, ok=%v", gs, ok)
+	}
+	hs, ok := snap.Get("cpuvirt.exit_cost", L("reason", "pio"))
+	if !ok || hs.Kind != "histogram" || hs.Count != 2 ||
+		hs.Min != 800*sim.Nanosecond || hs.Max != 1200*sim.Nanosecond {
+		t.Fatalf("histogram sample = %+v, ok=%v", hs, ok)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc() // live but unregistered
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(sim.Millisecond)
+	r.RegisterCounter("w", &Counter{})
+	r.RegisterGauge("w", &Gauge{})
+	r.RegisterHistogram("w", &Histogram{})
+	if snap := r.Snapshot(); len(snap.Samples) != 0 {
+		t.Fatalf("nil registry snapshot has %d samples", len(snap.Samples))
+	}
+}
+
+func TestRegistrySnapshotDeterministicAndPrefixed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second")
+	r.Counter("a.first", L("node", "n1"))
+	r.Counter("a.first", L("node", "n0"))
+	snap := r.Snapshot()
+	var ids []string
+	for _, s := range snap.Samples {
+		ids = append(ids, key(s.Name, s.Labels))
+	}
+	want := []string{"a.first{node=n0}", "a.first{node=n1}", "b.second"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("snapshot order = %v, want %v", ids, want)
+		}
+	}
+	if got := snap.Prefixed("a."); len(got) != 2 {
+		t.Fatalf("Prefixed(a.) = %d samples, want 2", len(got))
+	}
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared", L("k", "v"))
+				r.Histogram("hist", L("k", "v"))
+			}
+		}()
+	}
+	wg.Wait()
+	if len(r.Snapshot().Samples) != 2 {
+		t.Fatalf("concurrent registration produced %d samples, want 2", len(r.Snapshot().Samples))
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mediator.redirects", L("node", "node0")).Add(12)
+	r.Gauge("vblade.queue_depth").Set(2)
+	r.Histogram("aoe.rtt").Observe(400 * sim.Microsecond)
+	var b strings.Builder
+	r.Snapshot().WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"counter", "mediator.redirects{node=node0}", "12",
+		"gauge", "vblade.queue_depth",
+		"histogram", "aoe.rtt", "n=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -57,14 +57,50 @@ func (h *eventHeap) Pop() any {
 // Kernel is a discrete-event simulation engine. It is not safe for use from
 // multiple goroutines except through the Proc handshake it manages itself.
 type Kernel struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	rng     *rand.Rand
-	yield   chan struct{} // processes signal the kernel loop here
-	procs   int           // live processes (running or parked)
-	stopped bool
-	tracer  func(t Time, format string, args ...any)
+	now      Time
+	events   eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	yield    chan struct{} // processes signal the kernel loop here
+	procs    int           // live processes (running or parked)
+	stopped  bool
+	tracer   func(t Time, format string, args ...any)
+	procHook func(t Time, ev ProcEvent, name string)
+}
+
+// ProcEvent classifies process lifecycle notifications for SetProcHook.
+type ProcEvent uint8
+
+// Process lifecycle events.
+const (
+	ProcSpawn ProcEvent = iota // process created
+	ProcPark                   // process blocked, control returned to kernel
+	ProcWake                   // process resumed
+	ProcExit                   // process function returned
+)
+
+func (e ProcEvent) String() string {
+	switch e {
+	case ProcSpawn:
+		return "proc-spawn"
+	case ProcPark:
+		return "proc-park"
+	case ProcWake:
+		return "proc-wake"
+	default:
+		return "proc-exit"
+	}
+}
+
+// SetProcHook installs an observer for process lifecycle events (spawn,
+// park, wake, exit). A nil hook — the default — disables observation;
+// the only cost left on the scheduling path is one pointer check.
+func (k *Kernel) SetProcHook(fn func(t Time, ev ProcEvent, name string)) { k.procHook = fn }
+
+func (k *Kernel) notifyProc(ev ProcEvent, name string) {
+	if k.procHook != nil {
+		k.procHook(k.now, ev, name)
+	}
 }
 
 // New returns a kernel whose random source is seeded with seed.

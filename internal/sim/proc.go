@@ -18,11 +18,13 @@ type Proc struct {
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
 	k.procs++
+	k.notifyProc(ProcSpawn, name)
 	go func() {
 		<-p.resume // wait until the kernel hands us control
 		defer func() {
 			p.done = true
 			k.procs--
+			k.notifyProc(ProcExit, name)
 			k.yield <- struct{}{} // return control to the kernel loop
 		}()
 		fn(p)
@@ -41,8 +43,10 @@ func (p *Proc) transfer() {
 // park returns control to the kernel loop and blocks until the process is
 // resumed by a scheduled event.
 func (p *Proc) park() {
+	p.k.notifyProc(ProcPark, p.name)
 	p.k.yield <- struct{}{}
 	<-p.resume
+	p.k.notifyProc(ProcWake, p.name)
 }
 
 // Kernel returns the kernel this process runs on.

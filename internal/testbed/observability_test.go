@@ -1,0 +1,238 @@
+package testbed
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// deploy runs a full small deployment to bare metal and returns the testbed
+// and its result.
+func deploy(t *testing.T, cfg Config) (*Testbed, *Node, *BMcastResult) {
+	t.Helper()
+	tb := New(cfg)
+	n := tb.AddNode(cfg)
+	n.M.Firmware.InitTime = sim.Second
+	var res *BMcastResult
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		r, err := tb.DeployBMcast(p, n, core.DefaultConfig(), quickBoot(cfg))
+		if err != nil {
+			t.Error(err)
+			tb.K.Stop()
+			return
+		}
+		tb.WaitBareMetal(p, n, r)
+		res = r
+		tb.K.Stop()
+	})
+	tb.K.Run()
+	if res == nil {
+		t.Fatal("deployment did not complete")
+	}
+	return tb, n, res
+}
+
+// chromeEvent mirrors the trace-event JSON fields the tests inspect.
+type chromeJSON struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestDeployTraceExport(t *testing.T) {
+	cfg := small()
+	cfg.EnableTrace = true
+	tb, _, res := deploy(t, cfg)
+	if res.Trace != tb.Trace || res.Trace == nil {
+		t.Fatal("result does not carry the testbed's trace recorder")
+	}
+
+	var buf bytes.Buffer
+	if err := tb.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeJSON
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+
+	byName := map[string]int{}
+	byCat := map[string]int{}
+	for _, e := range ct.TraceEvents {
+		switch e.Ph {
+		case "X", "i", "M":
+		default:
+			t.Fatalf("unexpected phase type %q in event %q", e.Ph, e.Name)
+		}
+		byName[e.Name]++
+		byCat[e.Cat]++
+	}
+	for _, phase := range []string{"Initialization", "Deployment", "Devirtualization", "BareMetal"} {
+		if byName[phase] != 1 {
+			t.Fatalf("phase span %q appears %d times, want 1", phase, byName[phase])
+		}
+	}
+	if byCat["mediator"] == 0 {
+		t.Fatal("no mediator spans in the trace")
+	}
+	if byCat["aoe"] == 0 {
+		t.Fatal("no AoE spans in the trace")
+	}
+
+	// The open BareMetal span must be exported and flagged unfinished.
+	for _, e := range ct.TraceEvents {
+		if e.Name == "BareMetal" && e.Ph == "X" {
+			if e.Args["unfinished"] != true {
+				t.Fatalf("open BareMetal span args = %v, want unfinished=true", e.Args)
+			}
+		}
+	}
+
+	// Phase spans are ordered and contiguous in the queryable view too.
+	var prev sim.Time
+	for _, phase := range []string{"Initialization", "Deployment", "Devirtualization"} {
+		sp := res.Trace.FirstSpan(phase)
+		if sp == nil || sp.Open {
+			t.Fatalf("phase span %q missing or still open", phase)
+		}
+		if sp.Start < prev {
+			t.Fatalf("phase %q starts at %v, before previous phase ended (%v)", phase, sp.Start, prev)
+		}
+		prev = sp.Stop
+	}
+	bm := res.Trace.FirstSpan("BareMetal")
+	if bm == nil || !bm.Open {
+		t.Fatal("BareMetal span missing or unexpectedly closed")
+	}
+}
+
+func TestDevirtTraceInvariant(t *testing.T) {
+	cfg := small()
+	cfg.EnableTrace = true
+	_, n, res := deploy(t, cfg)
+
+	devirt := res.Trace.FirstSpan("Devirtualization")
+	if devirt == nil || devirt.Open {
+		t.Fatal("no completed Devirtualization span")
+	}
+	if devirt.Stop != n.VMM.DevirtedAt {
+		t.Fatalf("Devirtualization span ends at %v, VMM says %v", devirt.Stop, n.VMM.DevirtedAt)
+	}
+
+	// Seamless hand-off: once de-virtualization completes, no mediated I/O
+	// may start and no VM exit may occur.
+	for _, sp := range res.Trace.SpansInCat("mediator") {
+		if sp.Start >= devirt.Stop {
+			t.Fatalf("mediator span %q starts at %v, after de-virtualization ended at %v",
+				sp.Name, sp.Start, devirt.Stop)
+		}
+		if sp.Open {
+			t.Fatalf("mediator span %q still open after deployment", sp.Name)
+		}
+	}
+	for _, ev := range res.Trace.EventsInCat("cpuvirt") {
+		if ev.Time > devirt.Stop {
+			t.Fatalf("vm-exit event at %v, after de-virtualization ended at %v", ev.Time, devirt.Stop)
+		}
+	}
+	// There was mediation and there were exits — the invariant is not
+	// vacuous.
+	if len(res.Trace.SpansInCat("mediator")) == 0 || len(res.Trace.EventsInCat("cpuvirt")) == 0 {
+		t.Fatal("expected mediator spans and vm-exit events during deployment")
+	}
+}
+
+func TestMetricsSnapshotSubsystems(t *testing.T) {
+	cfg := small()
+	tb, n, _ := deploy(t, cfg)
+	snap := tb.Metrics.Snapshot()
+
+	// One run must populate all the major subsystems in one registry.
+	var exits float64
+	for _, s := range snap.Prefixed("cpuvirt.exits") {
+		exits += s.Value
+	}
+	if exits == 0 {
+		t.Fatal("no cpuvirt exits recorded in the registry")
+	}
+	if got := snap.CounterValue("mediator.guest_commands", metrics.L("node", n.M.Name)); got == 0 {
+		t.Fatal("no mediator guest commands recorded")
+	}
+	if got := snap.CounterValue("aoe.requests", metrics.L("node", n.M.Name)); got == 0 {
+		t.Fatal("no AoE requests recorded")
+	}
+	if _, ok := snap.Get("aoe.retransmits", metrics.L("node", n.M.Name)); !ok {
+		t.Fatal("AoE retransmit counter not registered")
+	}
+	var linkBytes float64
+	for _, s := range snap.Prefixed("ethernet.bytes") {
+		linkBytes += s.Value
+	}
+	if linkBytes == 0 {
+		t.Fatal("no ethernet link bytes recorded")
+	}
+	if got := snap.CounterValue("vmm.copied_bytes", metrics.L("node", n.M.Name)); got == 0 {
+		t.Fatal("no background-copied bytes recorded")
+	}
+	if got := snap.CounterValue("vblade.requests", metrics.L("node", "server")); got == 0 {
+		t.Fatal("no vblade requests recorded")
+	}
+
+	// The text dump renders without error and mentions each subsystem.
+	var b strings.Builder
+	snap.WriteText(&b)
+	for _, want := range []string{"cpuvirt.", "mediator.", "aoe.", "ethernet.", "vmm.", "vblade."} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("metrics dump missing %q", want)
+		}
+	}
+}
+
+// TestLossAppliedToVMMLink pins the -loss semantics: loss injected on the
+// node's VMM-side link forces AoE retransmission but the deployment still
+// completes (and the guest link stays clean).
+func TestLossAppliedToVMMLink(t *testing.T) {
+	cfg := small()
+	tb := New(cfg)
+	n := tb.AddNode(cfg)
+	n.M.Firmware.InitTime = sim.Second
+	n.VMMLink.SetLossRate(0.05)
+	var res *BMcastResult
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		r, err := tb.DeployBMcast(p, n, core.DefaultConfig(), quickBoot(cfg))
+		if err != nil {
+			t.Error(err)
+			tb.K.Stop()
+			return
+		}
+		tb.WaitBareMetal(p, n, r)
+		res = r
+		tb.K.Stop()
+	})
+	tb.K.Run()
+	if res == nil {
+		t.Fatal("deployment did not complete under loss")
+	}
+	if got := n.VMM.Initiator().Retransmits.Value(); got == 0 {
+		t.Fatal("5% loss on the VMM link produced no retransmits")
+	}
+	if n.VMMLink.Dropped() == 0 {
+		t.Fatal("VMM link dropped no frames")
+	}
+	if n.GuestLink.Dropped() != 0 {
+		t.Fatalf("guest link dropped %d frames; loss must only hit the VMM link", n.GuestLink.Dropped())
+	}
+	if _, err := tb.VerifyDeployment(n); err != nil {
+		t.Fatal(err)
+	}
+}

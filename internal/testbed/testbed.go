@@ -14,7 +14,9 @@ import (
 	"repro/internal/hw/ib"
 	"repro/internal/hw/nic"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vblade"
 )
 
@@ -33,6 +35,11 @@ type Testbed struct {
 
 	Nodes []*Node
 
+	// Metrics is the cluster-wide instrument registry (always present).
+	// Trace is the structured trace recorder, nil unless Config.EnableTrace.
+	Metrics *metrics.Registry
+	Trace   *trace.Recorder
+
 	links []*ethernet.Link
 }
 
@@ -41,6 +48,11 @@ type Node struct {
 	M   *machine.Machine
 	OS  *guest.OS
 	VMM *core.VMM // nil until a BMcast deployment boots it
+
+	// GuestLink/VMMLink are the node's two switch links: NIC 0 (guest) and
+	// NIC 1 (dedicated to the VMM), for fault injection.
+	GuestLink *ethernet.Link
+	VMMLink   *ethernet.Link
 }
 
 // Config configures a testbed.
@@ -51,6 +63,7 @@ type Config struct {
 	ServerThreads int // vblade worker pool size
 	Storage       machine.StorageKind
 	DiskSectors   int64 // 0 = full 500 GB testbed disk
+	EnableTrace   bool  // record structured spans/events (see Testbed.Trace)
 }
 
 // DefaultConfig returns the paper's setup: a 32 GB image behind a
@@ -69,15 +82,21 @@ func DefaultConfig() Config {
 func New(cfg Config) *Testbed {
 	k := sim.New(cfg.Seed)
 	tb := &Testbed{
-		K:      k,
-		Switch: ethernet.NewSwitch(k, "sw0", 5*sim.Microsecond),
-		IB:     ib.QDR4X(k),
-		Image:  disk.NewSynthImage("ubuntu-14.04", cfg.ImageBytes, cfg.ImageSeed),
+		K:       k,
+		Switch:  ethernet.NewSwitch(k, "sw0", 5*sim.Microsecond),
+		IB:      ib.QDR4X(k),
+		Image:   disk.NewSynthImage("ubuntu-14.04", cfg.ImageBytes, cfg.ImageSeed),
+		Metrics: metrics.NewRegistry(),
+	}
+	if cfg.EnableTrace {
+		tb.Trace = trace.NewRecorder(k)
 	}
 	link := tb.Switch.Connect(ethernet.GigabitJumbo())
 	tb.links = append(tb.links, link)
+	link.Instrument(tb.Metrics, "server")
 	tb.ServerNIC = nic.New(k, "server.eth0", nic.IntelX540, ServerMAC, link)
 	tb.Server = vblade.NewServer(k, tb.ServerNIC, cfg.ServerThreads)
+	tb.Server.Instrument(tb.Metrics, tb.Trace, "server")
 	tb.Server.AddTarget(0, 0, tb.Image)
 	tb.Server.Start()
 	return tb
@@ -93,14 +112,18 @@ func (tb *Testbed) AddNode(cfg Config) *Node {
 		mcfg.Disk.Sectors = cfg.DiskSectors
 	}
 	m := machine.New(tb.K, mcfg)
+	m.Trace = tb.Trace
+	m.Metrics = tb.Metrics
 	base := ethernet.MAC(0x0200_0000_0000) + ethernet.MAC(idx)*0x10
 	l0 := tb.Switch.Connect(ethernet.GigabitJumbo())
 	l1 := tb.Switch.Connect(ethernet.GigabitJumbo())
 	tb.links = append(tb.links, l0, l1)
+	l0.Instrument(tb.Metrics, m.Name+".guest")
+	l1.Instrument(tb.Metrics, m.Name+".vmm")
 	m.AttachNIC(nic.IntelPro1000, base, l0)
 	m.AttachNIC(nic.IntelPro1000, base+1, l1)
 	m.AttachIB(tb.IB)
-	n := &Node{M: m, OS: guest.NewOS("ubuntu", m)}
+	n := &Node{M: m, OS: guest.NewOS("ubuntu", m), GuestLink: l0, VMMLink: l1}
 	tb.Nodes = append(tb.Nodes, n)
 	return n
 }
@@ -119,6 +142,11 @@ type BMcastResult struct {
 	GuestBooted  sim.Time
 	Deployed     sim.Time // background copy complete
 	BareMetal    sim.Time // de-virtualization complete
+
+	// Trace is the testbed's trace recorder (nil unless Config.EnableTrace),
+	// here so assertions about phase ordering/containment travel with the
+	// result.
+	Trace *trace.Recorder
 }
 
 // DeployBMcast runs the full BMcast path on node n: firmware, VMM network
@@ -126,7 +154,7 @@ type BMcastResult struct {
 // background. It returns when the guest has booted; the deployment
 // continues in the background (use WaitBareMetal).
 func (tb *Testbed) DeployBMcast(p *sim.Proc, n *Node, vcfg core.Config, bp guest.BootProfile) (*BMcastResult, error) {
-	res := &BMcastResult{}
+	res := &BMcastResult{Trace: tb.Trace}
 	n.M.Firmware.PowerOn(p, 0) // firmware runs once; VMM loads via network
 	res.FirmwareDone = p.Now()
 	vmm, err := core.Boot(p, n.M, vcfg, 1, ServerMAC, 0, 0, tb.Image.Sectors)

@@ -1,0 +1,257 @@
+// Package trace is the simulation's structured tracing layer: typed
+// events and spans (begin/end with attributes) recorded against the
+// simulated clock into an append-only buffer.
+//
+// Every deployment phase, mediated command, AoE round trip, and VM exit
+// becomes a span or event here, which makes the paper's timeline
+// evaluation (§5, Figs. 4–14) machine-checkable: tests assert span
+// ordering and containment (e.g. no mediated-I/O span after the
+// Devirtualization span closes), and the whole buffer exports to Chrome
+// trace-event JSON loadable in Perfetto or chrome://tracing.
+//
+// A nil *Recorder is valid everywhere and records nothing; every method
+// is guarded by a single pointer check, so instrumented hot paths cost
+// one predictable branch when tracing is off.
+package trace
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Clock provides the trace timebase. *sim.Kernel satisfies it.
+type Clock interface {
+	Now() sim.Time
+}
+
+// Attr is one key/value attribute attached to a span or event. Values
+// are exported into the Chrome trace "args" object as-is.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Str returns a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int returns an integer attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one named interval on a node's timeline. A span is created
+// open by Recorder.Begin and closed by End; an open span has Stop equal
+// to its Start and Open true.
+type Span struct {
+	r *Recorder
+
+	Node  string // machine the span belongs to ("node0", "server", ...)
+	Cat   string // taxonomy bucket: "phase", "mediator", "aoe", "vmm", ...
+	Name  string
+	Start sim.Time
+	Stop  sim.Time
+	Open  bool
+	Args  []Attr
+}
+
+// End closes the span at the current simulation time, appending any
+// extra attributes. Ending a nil or already-closed span is a no-op.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil || !s.Open {
+		return
+	}
+	s.Stop = s.r.clock.Now()
+	s.Open = false
+	s.Args = append(s.Args, attrs...)
+}
+
+// Duration reports the span length; for an open span, the time elapsed
+// since Start as of the recorder's clock. A nil span has zero duration.
+func (s *Span) Duration() sim.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.Open {
+		return s.r.clock.Now().Sub(s.Start)
+	}
+	return s.Stop.Sub(s.Start)
+}
+
+// Contains reports whether instant t falls within the span (inclusive
+// start, exclusive stop; an open span contains everything after Start).
+func (s *Span) Contains(t sim.Time) bool {
+	if s == nil {
+		return false
+	}
+	return t >= s.Start && (s.Open || t < s.Stop)
+}
+
+// Event is one instantaneous typed event.
+type Event struct {
+	Time sim.Time
+	Node string
+	Cat  string
+	Name string
+	Args []Attr
+}
+
+// Recorder accumulates spans and events. The zero value is not usable;
+// construct with NewRecorder. A nil *Recorder discards everything.
+type Recorder struct {
+	clock  Clock
+	spans  []*Span // in begin order
+	events []Event // in time order (appended at clock time)
+}
+
+// NewRecorder returns a recorder timed by clock.
+func NewRecorder(clock Clock) *Recorder {
+	return &Recorder{clock: clock}
+}
+
+// Enabled reports whether the recorder records (i.e. is non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Begin opens a span on node's timeline and returns it. On a nil
+// recorder it returns nil, which every Span method accepts.
+func (r *Recorder) Begin(node, cat, name string, attrs ...Attr) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{r: r, Node: node, Cat: cat, Name: name, Start: r.clock.Now(), Open: true, Args: attrs}
+	s.Stop = s.Start
+	r.spans = append(r.spans, s)
+	return s
+}
+
+// Emit records an instantaneous event at the current simulation time.
+func (r *Recorder) Emit(node, cat, name string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Time: r.clock.Now(), Node: node, Cat: cat, Name: name, Args: attrs})
+}
+
+// Now reports the recorder's clock, or 0 on a nil recorder.
+func (r *Recorder) Now() sim.Time {
+	if r == nil {
+		return 0
+	}
+	return r.clock.Now()
+}
+
+// --- queryable view ------------------------------------------------------
+
+// Spans returns all recorded spans in begin order (open spans included).
+func (r *Recorder) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Events returns all recorded events in time order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// SpansNamed returns every span with the given name, in begin order.
+func (r *Recorder) SpansNamed(name string) []*Span {
+	return r.filterSpans(func(s *Span) bool { return s.Name == name })
+}
+
+// SpansInCat returns every span in the given category, in begin order.
+func (r *Recorder) SpansInCat(cat string) []*Span {
+	return r.filterSpans(func(s *Span) bool { return s.Cat == cat })
+}
+
+// SpansOnNode returns every span on the given node, in begin order.
+func (r *Recorder) SpansOnNode(node string) []*Span {
+	return r.filterSpans(func(s *Span) bool { return s.Node == node })
+}
+
+// FirstSpan returns the earliest-begun span with the given name, or nil.
+func (r *Recorder) FirstSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	for _, s := range r.spans {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func (r *Recorder) filterSpans(keep func(*Span) bool) []*Span {
+	if r == nil {
+		return nil
+	}
+	var out []*Span
+	for _, s := range r.spans {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EventsInCat returns every event in the given category, in time order.
+func (r *Recorder) EventsInCat(cat string) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range r.events {
+		if e.Cat == cat {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OpenSpans reports how many spans are still open.
+func (r *Recorder) OpenSpans() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range r.spans {
+		if s.Open {
+			n++
+		}
+	}
+	return n
+}
+
+// Durations builds a duration histogram over every completed span with
+// the given name — the per-span-kind latency view.
+func (r *Recorder) Durations(name string) *metrics.Histogram {
+	h := &metrics.Histogram{}
+	if r == nil {
+		return h
+	}
+	for _, s := range r.spans {
+		if s.Name == name && !s.Open {
+			h.Observe(s.Duration())
+		}
+	}
+	return h
+}
+
+// --- kernel process events ----------------------------------------------
+
+// KernelEvents hooks kernel k's process lifecycle (spawn, park, wake,
+// exit) into the recorder as instant events in category "sim" on the
+// given node timeline. Passing a nil recorder removes the hook. The
+// hook is optional and off by default: process events are high-volume
+// and most traces only need the span layers above.
+func KernelEvents(r *Recorder, k *sim.Kernel, node string) {
+	if r == nil {
+		k.SetProcHook(nil)
+		return
+	}
+	k.SetProcHook(func(_ sim.Time, ev sim.ProcEvent, name string) {
+		r.Emit(node, "sim", ev.String(), Str("proc", name))
+	})
+}

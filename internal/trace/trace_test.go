@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	sp := r.Begin("node0", "phase", "Deployment", Int("lba", 7))
+	if sp != nil {
+		t.Fatal("nil recorder returned a span")
+	}
+	sp.End()                      // must not panic
+	sp.End(Str("again", "twice")) // must not panic
+	r.Emit("node0", "cpuvirt", "vm-exit")
+	if sp.Duration() != 0 || sp.Contains(0) {
+		t.Fatal("nil span has non-zero view")
+	}
+	if r.Spans() != nil || r.Events() != nil || r.OpenSpans() != 0 {
+		t.Fatal("nil recorder has contents")
+	}
+	if r.FirstSpan("Deployment") != nil {
+		t.Fatal("nil recorder found a span")
+	}
+	if h := r.Durations("x"); h.Count() != 0 {
+		t.Fatal("nil recorder produced samples")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil recorder export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 0 {
+		t.Fatalf("nil recorder exported %d events", len(out.TraceEvents))
+	}
+}
+
+func TestSpansAndQueries(t *testing.T) {
+	k := sim.New(1)
+	r := NewRecorder(k)
+	k.Spawn("driver", func(p *sim.Proc) {
+		outer := r.Begin("node0", "phase", "Deployment")
+		p.Sleep(10 * sim.Millisecond)
+		in1 := r.Begin("node0", "mediator", "redirect", Int("lba", 100))
+		p.Sleep(2 * sim.Millisecond)
+		in1.End(Int("bytes", 4096))
+		in2 := r.Begin("node0", "mediator", "redirect", Int("lba", 200))
+		p.Sleep(4 * sim.Millisecond)
+		in2.End()
+		r.Emit("node0", "cpuvirt", "vm-exit", Str("reason", "pio"))
+		p.Sleep(4 * sim.Millisecond)
+		outer.End()
+	})
+	k.Run()
+
+	if got := len(r.Spans()); got != 3 {
+		t.Fatalf("spans = %d, want 3", got)
+	}
+	if r.OpenSpans() != 0 {
+		t.Fatalf("open spans = %d, want 0", r.OpenSpans())
+	}
+	dep := r.FirstSpan("Deployment")
+	if dep == nil || dep.Duration() != 20*sim.Millisecond {
+		t.Fatalf("Deployment span = %v (dur %v)", dep, dep.Duration())
+	}
+	redirects := r.SpansNamed("redirect")
+	if len(redirects) != 2 {
+		t.Fatalf("redirect spans = %d, want 2", len(redirects))
+	}
+	for _, sp := range redirects {
+		if !dep.Contains(sp.Start) || !dep.Contains(sp.Stop-1) {
+			t.Fatalf("redirect span [%v,%v) escapes Deployment [%v,%v)", sp.Start, sp.Stop, dep.Start, dep.Stop)
+		}
+	}
+	if got := len(r.SpansInCat("mediator")); got != 2 {
+		t.Fatalf("mediator spans = %d, want 2", got)
+	}
+	if got := len(r.SpansOnNode("node0")); got != 3 {
+		t.Fatalf("node0 spans = %d, want 3", got)
+	}
+	ev := r.EventsInCat("cpuvirt")
+	if len(ev) != 1 || ev[0].Name != "vm-exit" || ev[0].Time != 16*sim.Time(sim.Millisecond) {
+		t.Fatalf("cpuvirt events = %+v", ev)
+	}
+	h := r.Durations("redirect")
+	if h.Count() != 2 || h.Min() != 2*sim.Millisecond || h.Max() != 4*sim.Millisecond {
+		t.Fatalf("redirect histogram: n=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+}
+
+func TestChromeExportWellFormed(t *testing.T) {
+	k := sim.New(1)
+	r := NewRecorder(k)
+	k.Spawn("driver", func(p *sim.Proc) {
+		s := r.Begin("node0", "phase", "Deployment")
+		p.Sleep(5 * sim.Millisecond)
+		r.Emit("node0", "cpuvirt", "vm-exit", Str("reason", "mmio"))
+		s.End()
+		r.Begin("node0", "phase", "BareMetal") // left open on purpose
+	})
+	k.Run()
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for _, e := range out.TraceEvents {
+		byName[e.Name]++
+		switch e.Ph {
+		case "X", "i", "M":
+		default:
+			t.Fatalf("unexpected phase %q on %q", e.Ph, e.Name)
+		}
+		if e.Ph != "M" && (e.TS < 0 || e.Pid <= 0) {
+			t.Fatalf("event %q has ts=%v pid=%d", e.Name, e.TS, e.Pid)
+		}
+	}
+	if byName["Deployment"] != 1 || byName["vm-exit"] != 1 || byName["BareMetal"] != 1 {
+		t.Fatalf("missing events: %v", byName)
+	}
+	if byName["process_name"] != 1 || byName["thread_name"] == 0 {
+		t.Fatalf("missing metadata events: %v", byName)
+	}
+	for _, e := range out.TraceEvents {
+		switch e.Name {
+		case "Deployment":
+			if e.Dur == nil || *e.Dur != 5000 { // 5 ms = 5000 µs
+				t.Fatalf("Deployment dur = %v, want 5000µs", e.Dur)
+			}
+		case "BareMetal":
+			if e.Args["unfinished"] != true {
+				t.Fatalf("open span not marked unfinished: %v", e.Args)
+			}
+		}
+	}
+}
+
+func TestKernelEventsHook(t *testing.T) {
+	k := sim.New(1)
+	r := NewRecorder(k)
+	KernelEvents(r, k, "kernel")
+	k.Spawn("worker", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+	})
+	k.Run()
+	ev := r.EventsInCat("sim")
+	counts := map[string]int{}
+	for _, e := range ev {
+		counts[e.Name]++
+	}
+	if counts["proc-spawn"] != 1 || counts["proc-exit"] != 1 {
+		t.Fatalf("lifecycle events = %v", counts)
+	}
+	if counts["proc-park"] == 0 || counts["proc-wake"] == 0 {
+		t.Fatalf("no park/wake events: %v", counts)
+	}
+
+	// Removing the hook stops recording.
+	KernelEvents(nil, k, "kernel")
+	before := len(r.Events())
+	k.Spawn("worker2", func(p *sim.Proc) { p.Sleep(sim.Millisecond) })
+	k.Run()
+	if len(r.Events()) != before {
+		t.Fatal("hook still recording after removal")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/hw/nic"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Target is one exported device: an image-backed store addressed by
@@ -50,6 +51,26 @@ type Server struct {
 	BytesStored  metrics.Counter
 	WriteErrors  metrics.Counter
 	UnknownDrops metrics.Counter
+
+	// Observability (see Instrument): a span per served fragment plus the
+	// live queue-depth gauge.
+	node  string
+	tr    *trace.Recorder
+	depth *metrics.Gauge
+}
+
+// Instrument adopts the server's counters into reg under "vblade.*" names
+// labeled with the node, and makes every served fragment record a span on
+// tr (nil tr: no spans). No-op counters on a nil registry.
+func (s *Server) Instrument(reg *metrics.Registry, tr *trace.Recorder, node string) {
+	s.node, s.tr = node, tr
+	l := metrics.L("node", node)
+	reg.RegisterCounter("vblade.requests", &s.Requests, l)
+	reg.RegisterCounter("vblade.bytes_served", &s.BytesServed, l)
+	reg.RegisterCounter("vblade.bytes_stored", &s.BytesStored, l)
+	reg.RegisterCounter("vblade.write_errors", &s.WriteErrors, l)
+	reg.RegisterCounter("vblade.unknown_drops", &s.UnknownDrops, l)
+	s.depth = reg.Gauge("vblade.queue_depth", l)
 }
 
 // NewServer returns a server speaking through n. Call AddTarget then Start.
@@ -122,6 +143,12 @@ func (s *Server) serve(p *sim.Proc, f *ethernet.Frame) {
 		return
 	}
 	s.Requests.Inc()
+	if s.depth != nil {
+		s.depth.Set(float64(s.queue.Len()))
+	}
+	sp := s.tr.Begin(s.node, "aoe", "serve",
+		trace.Int("lba", int64(msg.LBA)), trace.Int("count", int64(msg.Count)))
+	defer sp.End()
 
 	resp := &aoe.Message{Header: msg.Header}
 	resp.Flags |= aoe.FlagResponse
