@@ -1,0 +1,28 @@
+GO ?= go
+
+# Micro/hot-path benchmarks run long enough for stable numbers; the
+# macro sweeps (full registry, full deployment, per-figure regeneration)
+# are run once — their headline metrics are simulated time, which does not
+# depend on iteration count.
+MICRO ?= BenchmarkSimEventThroughput|BenchmarkTrace|BenchmarkAoEHeaderMarshal|BenchmarkBitmap|BenchmarkStoreWrite|BenchmarkMediatedReadRedirect
+MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkAblation
+
+.PHONY: test bench bench-smoke
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# bench regenerates BENCH_results.json, the tracked perf baseline future
+# PRs are measured against. Micro and macro passes are concatenated into
+# one parse.
+bench:
+	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 1 . && \
+	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 1 . ) \
+	| $(GO) run ./cmd/bench2json -out BENCH_results.json
+
+# bench-smoke is the CI variant: every benchmark once, just to prove the
+# harness and all benchmark code paths still run end to end.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -count 1 . \
+	| $(GO) run ./cmd/bench2json -out BENCH_results.json

@@ -9,6 +9,8 @@ package bmcast
 // One figure:      go test -bench=BenchmarkFig7 -benchtime=1x
 
 import (
+	"fmt"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -66,6 +68,32 @@ func BenchmarkFig11StorageLatency(b *testing.B)    { runFigure(b, "fig11") }
 func BenchmarkFig12IBThroughput(b *testing.B)      { runFigure(b, "fig12") }
 func BenchmarkFig13IBLatency(b *testing.B)         { runFigure(b, "fig13") }
 func BenchmarkFig14Moderation(b *testing.B)        { runFigure(b, "fig14") }
+
+// --- full-registry sweep through the work-pool runner ---------------------
+
+// BenchmarkRegistrySweep runs the complete experiment registry at tiny
+// scale through experiments.RunAll, sequentially and with one worker per
+// CPU. The two sub-benchmarks produce identical tables (the runner derives
+// each cell's seed from the base seed and cell id alone); the ratio of
+// their wall-clock times is the sweep's parallel speedup.
+func BenchmarkRegistrySweep(b *testing.B) {
+	opt := benchOpt()
+	opt.ImageBytes = 128 << 20
+	opt.DevirtImageBytes = 32 << 20
+	opt.DBSeconds = 2 * sim.Second
+	for _, par := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := experiments.RunAll(experiments.Registry(), opt, par)
+				for _, res := range results {
+					if len(res.Tables) == 0 {
+						b.Fatalf("%s produced no tables", res.Runner.ID)
+					}
+				}
+			}
+		})
+	}
+}
 
 // --- deployment macro-benchmark -------------------------------------------
 

@@ -3,18 +3,27 @@
 //
 // Usage:
 //
-//	bmcast-experiments [-fig N[,N...]] [-quick] [-markdown] [-seed S]
+//	bmcast-experiments [-fig N[,N...]] [-quick] [-markdown] [-seed S] [-parallel N]
 //
 // Without -fig every figure runs in order. -quick uses reduced scale
 // (smaller image, shorter measurement windows) for fast smoke runs.
+//
+// Cells run concurrently on up to -parallel workers (default: all CPUs).
+// Every cell derives its kernel seed from (-seed, cell id) alone and the
+// tables are printed in registry order, so standard output is byte-identical
+// for every -parallel setting; per-cell wall-clock timings go to stderr.
+//
+// -cpuprofile and -memprofile write pprof profiles of the sweep, so the
+// simulator's hot paths can be measured without editing code.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
-	"time"
 
 	"repro/internal/experiments"
 )
@@ -25,6 +34,9 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "experiment cells run concurrently")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the sweep to `file`")
 	flag.Parse()
 
 	if *list {
@@ -58,16 +70,43 @@ func main() {
 		}
 	}
 
-	for _, r := range runners {
-		start := time.Now()
-		tables := r.Run(opt)
-		for _, t := range tables {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	results := experiments.RunAll(runners, opt, *parallel)
+	for _, res := range results {
+		for _, t := range res.Tables {
 			if *markdown {
 				fmt.Println(t.Markdown())
 			} else {
 				fmt.Println(t)
 			}
 		}
-		fmt.Printf("[%s completed in %.1fs wall clock]\n\n", r.ID, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs wall clock]\n", res.Runner.ID, res.Wall.Seconds())
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -34,6 +34,11 @@ type Initiator struct {
 	perFrame int64
 	nextReq  uint32
 	pending  map[uint32]*pendingReq
+	// reqPool recycles completed request records (and their per-fragment
+	// slices and progress signals), so a steady stream of round trips —
+	// a 32 GB background copy issues millions — does not allocate a fresh
+	// record per request.
+	reqPool []*pendingReq
 
 	// RTO management: exponentially weighted RTT estimate; the timeout
 	// fires only after no fragment progress for the current RTO.
@@ -81,6 +86,55 @@ type pendingReq struct {
 	progress   *sim.Signal
 	err        error
 	sentAt     []sim.Time
+}
+
+// newReq takes a request record from the pool (or allocates one) and sizes
+// its per-fragment slices for frags fragments.
+func (in *Initiator) newReq(frags int) *pendingReq {
+	if n := len(in.reqPool) - 1; n >= 0 {
+		pr := in.reqPool[n]
+		in.reqPool[n] = nil
+		in.reqPool = in.reqPool[:n]
+		pr.frags = frags
+		pr.gotCount = 0
+		pr.write, pr.src, pr.err = false, nil, nil
+		pr.got = resetSlice(pr.got, frags)
+		pr.parts = resetSlice(pr.parts, frags)
+		pr.sentAt = resetSlice(pr.sentAt, frags)
+		return pr
+	}
+	return &pendingReq{
+		frags:    frags,
+		got:      make([]bool, frags),
+		parts:    make([]disk.Payload, frags),
+		sentAt:   make([]sim.Time, frags),
+		progress: in.k.NewSignal("aoe.req"),
+	}
+}
+
+// release returns a completed record to the pool. Safe because run()
+// deletes the reqID from pending before returning, so late frames for the
+// old request can never touch the recycled record.
+func (in *Initiator) release(pr *pendingReq) {
+	for i := range pr.parts {
+		pr.parts[i] = disk.Payload{} // drop payload sources for the GC
+	}
+	pr.src = nil
+	in.reqPool = append(in.reqPool, pr)
+}
+
+// resetSlice returns s resized to n elements, all zero, reusing its backing
+// array when capacity allows.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
 }
 
 // NewInitiator returns an initiator speaking through n to the target with
@@ -260,19 +314,16 @@ func (in *Initiator) Read(p *sim.Proc, lba, count int64) (disk.Payload, error) {
 	if count <= 0 {
 		return disk.Payload{}, fmt.Errorf("aoe: non-positive read count %d", count)
 	}
-	frags := Fragments(count, in.perFrame)
-	pr := &pendingReq{
-		lba: lba, count: count, frags: frags,
-		got:      make([]bool, frags),
-		parts:    make([]disk.Payload, frags),
-		sentAt:   make([]sim.Time, frags),
-		progress: in.k.NewSignal("aoe.read"),
-	}
+	pr := in.newReq(Fragments(count, in.perFrame))
+	pr.lba, pr.count = lba, count
 	if err := in.run(p, pr); err != nil {
+		in.release(pr)
 		return disk.Payload{}, err
 	}
 	in.BytesRead.Add(count * disk.SectorSize)
-	return in.assemble(pr), nil
+	out := in.assemble(pr)
+	in.release(pr)
+	return out, nil
 }
 
 // assemble merges fragment payloads into one. Fragments sharing one source
@@ -288,13 +339,11 @@ func (in *Initiator) assemble(pr *pendingReq) disk.Payload {
 	if uniform {
 		return disk.Payload{LBA: pr.lba, Count: pr.count, Source: pr.parts[0].Source}
 	}
-	buf := make([]byte, pr.count*disk.SectorSize)
-	for f, part := range pr.parts {
-		lba, _ := in.fragRange(pr, f)
-		off := (lba - pr.lba) * disk.SectorSize
-		copy(buf[off:], part.Bytes())
+	buf := make([]byte, 0, pr.count*disk.SectorSize)
+	for _, part := range pr.parts {
+		buf = part.AppendTo(buf)
 	}
-	return disk.Payload{LBA: pr.lba, Count: pr.count, Source: disk.NewBuffer(pr.lba, buf, "aoe-read")}
+	return disk.Payload{LBA: pr.lba, Count: pr.count, Source: disk.OwnedBuffer(pr.lba, buf, "aoe-read")}
 }
 
 // Write stores the payload's sectors on the target, blocking the process.
@@ -302,15 +351,12 @@ func (in *Initiator) Write(p *sim.Proc, payload disk.Payload) error {
 	if payload.Count <= 0 {
 		return fmt.Errorf("aoe: non-positive write count %d", payload.Count)
 	}
-	frags := Fragments(payload.Count, in.perFrame)
-	pr := &pendingReq{
-		lba: payload.LBA, count: payload.Count, frags: frags,
-		write: true, src: payload.Source,
-		got:      make([]bool, frags),
-		sentAt:   make([]sim.Time, frags),
-		progress: in.k.NewSignal("aoe.write"),
-	}
-	if err := in.run(p, pr); err != nil {
+	pr := in.newReq(Fragments(payload.Count, in.perFrame))
+	pr.lba, pr.count = payload.LBA, payload.Count
+	pr.write, pr.src = true, payload.Source
+	err := in.run(p, pr)
+	in.release(pr)
+	if err != nil {
 		return err
 	}
 	in.BytesWritten.Add(payload.Count * disk.SectorSize)

@@ -282,7 +282,7 @@ type PreemptionTimer struct {
 	interval sim.Duration
 	fn       func()
 	stopped  bool
-	event    *sim.Event
+	event    sim.Handle
 }
 
 // StartPreemptionTimer begins firing fn every interval.
@@ -314,9 +314,8 @@ func (t *PreemptionTimer) Interval() sim.Duration { return t.interval }
 // Stop cancels the timer.
 func (t *PreemptionTimer) Stop() {
 	t.stopped = true
-	if t.event != nil {
-		t.event.Cancel()
-	}
+	t.event.Cancel()
+	t.event = sim.Handle{}
 }
 
 // Devirtualize performs BMcast's de-virtualization on the CPU side: each

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Result is one completed experiment cell: the runner that produced it, the
+// tables it emitted, and how long it took in wall-clock time.
+type Result struct {
+	Runner Runner
+	Tables []*report.Table
+	Wall   time.Duration
+}
+
+// DeriveSeed maps (base seed, cell id) to the seed that cell's kernel runs
+// with. Each cell gets an independent, reproducible stream: the id is
+// hashed (FNV-1a) and folded with the base seed through a splitmix-style
+// finalizer. Because a cell's seed depends only on its id and the base
+// seed — never on execution order — a parallel sweep is byte-identical to
+// a sequential one.
+func DeriveSeed(base int64, id string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * 1099511628211
+	}
+	x := h ^ uint64(base)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// RunAll executes every runner against opt, at most parallel cells at a
+// time, and returns results in registry order regardless of completion
+// order. Each cell builds its own sim.Kernel from a seed derived with
+// DeriveSeed, so results are identical for every parallel setting,
+// including 1. parallel < 1 means GOMAXPROCS.
+func RunAll(runners []Runner, opt Options, parallel int) []Result {
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(runners) {
+		parallel = len(runners)
+	}
+	results := make([]Result, len(runners))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := runners[i]
+				o := opt
+				o.Seed = DeriveSeed(opt.Seed, r.ID)
+				start := time.Now()
+				tables := r.Run(o)
+				results[i] = Result{Runner: r, Tables: tables, Wall: time.Since(start)}
+			}
+		}()
+	}
+	for i := range runners {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDeriveSeedIndependentPerCell(t *testing.T) {
+	seen := map[int64]string{}
+	for _, r := range Registry() {
+		s := DeriveSeed(1, r.ID)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("cells %s and %s share derived seed %d", prev, r.ID, s)
+		}
+		seen[s] = r.ID
+	}
+	if DeriveSeed(1, "fig7") != DeriveSeed(1, "fig7") {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(1, "fig7") == DeriveSeed(2, "fig7") {
+		t.Fatal("DeriveSeed ignores the base seed")
+	}
+}
+
+// renderAll flattens a result list the way the CLI prints it, so equality
+// here is byte-equality of the experiment output.
+func renderAll(results []Result) string {
+	var b strings.Builder
+	for _, res := range results {
+		for _, tab := range res.Tables {
+			b.WriteString(tab.String())
+			b.WriteString(tab.Markdown())
+		}
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSequential is the parallel runner's determinism
+// contract: the full registry, fanned out across workers, renders the very
+// same tables as a one-worker run with the same base seed.
+func TestParallelMatchesSequential(t *testing.T) {
+	reg := Registry()
+	if testing.Short() {
+		var cheap []Runner
+		for _, r := range reg {
+			switch r.ID {
+			case "fig6", "fig7", "fig10", "fig13":
+				cheap = append(cheap, r)
+			}
+		}
+		reg = cheap
+	}
+	opt := tiny()
+	opt.ImageBytes = 64 << 20 // both sweeps run twice; keep the cells small
+	opt.DevirtImageBytes = 32 << 20
+	opt.DBSeconds = 2 * sim.Second
+	seq := RunAll(reg, opt, 1)
+	par := RunAll(reg, opt, 4)
+	if len(seq) != len(reg) || len(par) != len(reg) {
+		t.Fatalf("result counts: sequential %d, parallel %d, want %d", len(seq), len(par), len(reg))
+	}
+	for i := range seq {
+		if seq[i].Runner.ID != reg[i].ID || par[i].Runner.ID != reg[i].ID {
+			t.Fatalf("results out of registry order at %d: %s / %s / %s",
+				i, reg[i].ID, seq[i].Runner.ID, par[i].Runner.ID)
+		}
+	}
+	a, b := renderAll(seq), renderAll(par)
+	if a != b {
+		t.Fatalf("parallel output diverges from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}

@@ -21,8 +21,12 @@ func Scale(opt Options) []*report.Table {
 		Columns: []string{"instances", "BMcast", "Image Copy", "ratio"},
 	}
 	for _, n := range fleets {
-		bm := scaleRun(opt, cloud.StrategyBMcast, n)
-		ic := scaleRun(opt, cloud.StrategyImageCopy, n)
+		bm, bmErr := scaleRun(opt, cloud.StrategyBMcast, n)
+		ic, icErr := scaleRun(opt, cloud.StrategyImageCopy, n)
+		if bmErr != nil || icErr != nil {
+			t.AddRow(n, scaleCell(bm, bmErr), scaleCell(ic, icErr), "-")
+			continue
+		}
 		t.AddRow(n, bm, ic, fmt.Sprintf("%.1fx", float64(ic)/float64(bm)))
 	}
 	t.AddNote("paper §5.1: BMcast's 1.2 MB/s per booting instance leaves room to scale;")
@@ -30,7 +34,19 @@ func Scale(opt Options) []*report.Table {
 	return []*report.Table{t}
 }
 
-func scaleRun(opt Options, s cloud.Strategy, fleet int) sim.Duration {
+// scaleCell renders a duration cell, or the failure that replaced it.
+func scaleCell(d sim.Duration, err error) string {
+	if err != nil {
+		return fmt.Sprintf("FAILED (%v)", err)
+	}
+	return d.String()
+}
+
+// scaleRun deploys fleet simultaneous instances with strategy s and reports
+// the worst time-to-ready. A tenant whose provisioning fails does not crash
+// the run: the first failure is reported so the row can carry it, and the
+// remaining tenants still finish.
+func scaleRun(opt Options, s cloud.Strategy, fleet int) (sim.Duration, error) {
 	tcfg := testbed.DefaultConfig()
 	tcfg.Seed = opt.Seed
 	tcfg.ImageBytes = opt.ImageBytes
@@ -40,27 +56,39 @@ func scaleRun(opt Options, s cloud.Strategy, fleet int) sim.Duration {
 		n.M.Firmware.InitTime = 2 * sim.Second
 	}
 	var worst sim.Duration
+	var firstErr error
 	done := 0
+	finish := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		done++
+		if done == fleet {
+			tb.K.Stop()
+		}
+	}
 	for i := 0; i < fleet; i++ {
 		tb.K.Spawn("tenant", func(p *sim.Proc) {
 			in, err := c.Request(s)
 			if err != nil {
-				panic(err)
+				finish(fmt.Errorf("request: %w", err))
+				return
 			}
 			if !in.WaitReady(p) {
-				panic(in.Err())
+				finish(fmt.Errorf("deploy: %w", in.Err()))
+				return
 			}
 			if d := in.TimeToReady(); d > worst {
 				worst = d
 			}
-			done++
-			if done == fleet {
-				tb.K.Stop()
-			}
+			finish(nil)
 		})
 	}
 	for done < fleet && tb.K.Pending() > 0 {
 		tb.K.RunUntil(tb.K.Now().Add(sim.Hour))
 	}
-	return worst
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return worst, nil
 }

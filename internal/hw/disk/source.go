@@ -89,12 +89,25 @@ type Buffer struct {
 }
 
 // NewBuffer returns a literal source holding data at sector base. The data
-// is padded to a whole number of sectors.
+// is copied and padded to a whole number of sectors, so the caller keeps
+// ownership of data.
 func NewBuffer(base int64, data []byte, label string) *Buffer {
 	n := (len(data) + SectorSize - 1) / SectorSize * SectorSize
 	padded := make([]byte, n)
 	copy(padded, data)
 	return &Buffer{Base: base, Data: padded, Label: label}
+}
+
+// OwnedBuffer wraps data — which must already be a whole number of sectors
+// — as a literal source without copying. Ownership of data transfers to
+// the buffer: the caller must not modify it afterwards. Streaming paths
+// that materialize into a fresh slice use this to avoid NewBuffer's second
+// allocation and copy.
+func OwnedBuffer(base int64, data []byte, label string) *Buffer {
+	if len(data)%SectorSize != 0 {
+		panic("disk: OwnedBuffer data not a multiple of the sector size")
+	}
+	return &Buffer{Base: base, Data: data, Label: label}
 }
 
 // Fill copies literal content for the requested sectors.
@@ -141,6 +154,26 @@ func (p Payload) Bytes() []byte {
 		p.Source.Fill(p.LBA, buf)
 	}
 	return buf
+}
+
+// AppendTo materializes the payload's content onto the end of dst and
+// returns the extended slice. Unlike append(dst, p.Bytes()...) it fills the
+// destination in place, with no intermediate slice.
+func (p Payload) AppendTo(dst []byte) []byte {
+	off := len(dst)
+	n := int(p.Count) * SectorSize
+	if cap(dst)-off < n {
+		grown := make([]byte, off, off+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+n]
+	if p.Source == nil {
+		Zero.Fill(p.LBA, dst[off:])
+		return dst
+	}
+	p.Source.Fill(p.LBA, dst[off:])
+	return dst
 }
 
 // Len reports the payload length in bytes.

@@ -22,6 +22,11 @@ func (e Extent) String() string {
 type Store struct {
 	sectors int64
 	extents []Extent
+	// scratch is the extent array retired by the previous Write, reused as
+	// the build target of the next one. The two arrays ping-pong, so
+	// steady-state writes (the background copy issues one per chunk) do
+	// not allocate.
+	scratch []Extent
 }
 
 // NewStore returns an all-zero store of the given size in sectors.
@@ -54,7 +59,7 @@ func (s *Store) Write(lba, count int64, src SectorSource) {
 	s.checkRange(lba, count)
 	end := lba + count
 	i := s.find(lba)
-	var out []Extent
+	out := s.scratch[:0]
 	out = append(out, s.extents[:i]...)
 	// Left remainder of the extent containing lba.
 	if e := s.extents[i]; e.Start < lba {
@@ -72,6 +77,7 @@ func (s *Store) Write(lba, count int64, src SectorSource) {
 		j++
 	}
 	out = append(out, s.extents[j:]...)
+	s.scratch = s.extents
 	s.extents = coalesce(out)
 }
 
@@ -128,7 +134,7 @@ func (s *Store) ReadPayload(lba, count int64) Payload {
 	}
 	buf := make([]byte, count*SectorSize)
 	s.ReadAt(lba, buf)
-	return Payload{LBA: lba, Count: count, Source: NewBuffer(lba, buf, "materialized")}
+	return Payload{LBA: lba, Count: count, Source: OwnedBuffer(lba, buf, "materialized")}
 }
 
 // Extents returns a copy of the extent list.

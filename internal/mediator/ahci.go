@@ -416,7 +416,7 @@ func (md *AHCI) finishSlot(p *sim.Proc, cmd ahciCommand) {
 func (md *AHCI) copyToGuestPRDT(cmd ahciCommand, parts []disk.Payload) {
 	var data []byte
 	for _, pl := range parts {
-		data = append(data, pl.Bytes()...)
+		data = pl.AppendTo(data)
 	}
 	for _, prd := range ahci.ReadPRDT(md.m.Mem, cmd.ctba, cmd.prdtl) {
 		n := prd.Bytes

@@ -375,7 +375,7 @@ func (md *IDE) protectAccess(p *sim.Proc, cmd ideCommand) {
 func (md *IDE) copyToGuestPRD(prdt uint32, parts []disk.Payload) {
 	var data []byte
 	for _, pl := range parts {
-		data = append(data, pl.Bytes()...)
+		data = pl.AppendTo(data)
 	}
 	addr := int64(prdt)
 	for len(data) > 0 {

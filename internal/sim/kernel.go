@@ -1,64 +1,73 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// Event is a scheduled callback. It can be canceled before it fires.
-type Event struct {
+// event is the kernel's record for one scheduled callback. Records are
+// pooled: once an event fires, its record returns to the kernel's free
+// list and is reused by a later At/After, so steady-state scheduling does
+// not allocate. Callers never hold *event directly — At and After return a
+// Handle, which stays valid (as a guaranteed no-op) after the record is
+// recycled.
+type event struct {
 	when     Time
-	seq      uint64
+	seq      uint64 // schedule order; 0 once fired (invalidates handles)
 	fn       func()
+	index    int32 // position in the kernel's heap, -1 when not queued
 	canceled bool
-	index    int // heap index, -1 when not queued
 }
 
-// When reports the instant the event is scheduled to fire.
-func (e *Event) When() Time { return e.when }
+// Handle identifies a scheduled event so it can be canceled. The zero
+// Handle is inert. A Handle held past its event's firing is harmless:
+// the record's sequence number changes when the kernel recycles it, so a
+// stale Cancel or Canceled is a no-op rather than an aliased mutation of
+// whatever event reuses the record.
+type Handle struct {
+	k   *Kernel
+	e   *event
+	seq uint64
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// live reports whether the handle still refers to the event it was issued
+// for (scheduled or canceled, but not yet fired and recycled).
+func (h Handle) live() bool { return h.e != nil && h.e.seq == h.seq }
 
-// Canceled reports whether Cancel was called.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// When reports the instant the event is scheduled to fire, or zero once
+// the event has fired.
+func (h Handle) When() Time {
+	if !h.live() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
+	return h.e.when
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Cancel prevents the event from firing, removing it from the event heap
+// immediately (no tombstone is left behind). Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if !h.live() || h.e.canceled {
+		return
+	}
+	h.e.canceled = true
+	if h.e.index >= 0 {
+		h.k.remove(h.e)
+	}
+	// Canceled records are left to the garbage collector rather than
+	// recycled, so Canceled() keeps answering truthfully for this handle.
+	h.e.fn = nil
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (h Handle) Canceled() bool { return h.live() && h.e.canceled }
 
 // Kernel is a discrete-event simulation engine. It is not safe for use from
 // multiple goroutines except through the Proc handshake it manages itself.
 type Kernel struct {
 	now      Time
-	events   eventHeap
+	heap     []*event // 4-ary min-heap ordered by (when, seq)
+	free     []*event // recycled fired records, reused by At
 	seq      uint64
 	rng      *rand.Rand
 	yield    chan struct{} // processes signal the kernel loop here
@@ -130,18 +139,26 @@ func (k *Kernel) Tracef(format string, args ...any) {
 }
 
 // At schedules fn to run at instant t, which must not be in the past.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	e := &Event{when: t, seq: k.seq, fn: fn, index: -1}
-	heap.Push(&k.events, e)
-	return e
+	var e *event
+	if n := len(k.free) - 1; n >= 0 {
+		e = k.free[n]
+		k.free[n] = nil
+		k.free = k.free[:n]
+	} else {
+		e = &event{}
+	}
+	e.when, e.seq, e.fn, e.canceled = t, k.seq, fn, false
+	k.push(e)
+	return Handle{k: k, e: e, seq: e.seq}
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
-func (k *Kernel) After(d Duration, fn func()) *Event {
+func (k *Kernel) After(d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -152,21 +169,24 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 func (k *Kernel) Stop() { k.stopped = true }
 
 // step fires the earliest pending event. It reports false when no events
-// remain.
+// remain. The fired record is recycled before its callback runs, so a
+// callback that immediately reschedules (the common timer-tick pattern)
+// reuses the same cache-hot record.
 func (k *Kernel) step() bool {
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*Event)
-		if e.canceled {
-			continue
-		}
-		if e.when < k.now {
-			panic("sim: event heap time went backwards")
-		}
-		k.now = e.when
-		e.fn()
-		return true
+	if len(k.heap) == 0 {
+		return false
 	}
-	return false
+	e := k.popMin()
+	if e.when < k.now {
+		panic("sim: event heap time went backwards")
+	}
+	k.now = e.when
+	fn := e.fn
+	e.fn = nil
+	e.seq = 0 // invalidate outstanding handles
+	k.free = append(k.free, e)
+	fn()
+	return true
 }
 
 // Run fires events until none remain or Stop is called. Processes parked on
@@ -183,8 +203,7 @@ func (k *Kernel) Run() {
 func (k *Kernel) RunUntil(t Time) {
 	k.stopped = false
 	for !k.stopped {
-		e := k.peek()
-		if e == nil || e.when > t {
+		if len(k.heap) == 0 || k.heap[0].when > t {
 			break
 		}
 		k.step()
@@ -194,23 +213,104 @@ func (k *Kernel) RunUntil(t Time) {
 	}
 }
 
-func (k *Kernel) peek() *Event {
-	for len(k.events) > 0 && k.events[0].canceled {
-		heap.Pop(&k.events)
-	}
-	if len(k.events) == 0 {
-		return nil
-	}
-	return k.events[0]
+// Pending reports the number of scheduled events. Canceled events are
+// removed from the heap eagerly, so every counted event will fire.
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// --- 4-ary event heap ------------------------------------------------------
+//
+// A 4-ary layout halves the tree depth of the binary container/heap it
+// replaced and keeps sibling comparisons inside one or two cache lines.
+// Entries are concrete *event pointers — no interface boxing on push/pop —
+// and the index field supports O(log n) removal for Cancel.
+
+func eventLess(a, b *event) bool {
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
 }
 
-// Pending reports the number of scheduled (uncanceled) events.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, e := range k.events {
-		if !e.canceled {
-			n++
-		}
+func (k *Kernel) push(e *event) {
+	e.index = int32(len(k.heap))
+	k.heap = append(k.heap, e)
+	k.siftUp(int(e.index))
+}
+
+// popMin removes and returns the earliest event, leaving index == -1.
+func (k *Kernel) popMin() *event {
+	h := k.heap
+	e := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	k.heap = h[:n]
+	if n > 0 {
+		h[0] = last
+		last.index = 0
+		k.siftDown(0)
 	}
-	return n
+	e.index = -1
+	return e
+}
+
+// remove deletes e from an arbitrary heap position.
+func (k *Kernel) remove(e *event) {
+	i := int(e.index)
+	h := k.heap
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	k.heap = h[:n]
+	if i < n {
+		h[i] = last
+		last.index = int32(i)
+		k.siftDown(i)
+		k.siftUp(int(last.index))
+	}
+	e.index = -1
+}
+
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !eventLess(e, p) {
+			break
+		}
+		h[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		limit := first + 4
+		if limit > n {
+			limit = n
+		}
+		for c := first + 1; c < limit; c++ {
+			if eventLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !eventLess(h[best], e) {
+			break
+		}
+		h[i] = h[best]
+		h[i].index = int32(i)
+		i = best
+	}
+	h[i] = e
+	e.index = int32(i)
 }

@@ -132,6 +132,89 @@ func TestPending(t *testing.T) {
 	}
 }
 
+// TestSchedulingZeroAllocAmortized pins the free-list contract: once the
+// record pool and heap are warm, a schedule+fire cycle performs no heap
+// allocations at all.
+func TestSchedulingZeroAllocAmortized(t *testing.T) {
+	k := New(1)
+	n := 0
+	fn := func() { n++ }
+	for i := 0; i < 64; i++ { // warm the free list and heap capacity
+		k.After(Duration(i)*Microsecond, fn)
+	}
+	k.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		k.After(Microsecond, fn)
+		k.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+fire allocates %.2f objects/event, want 0", avg)
+	}
+}
+
+// TestCancelRemovesEagerly exercises removal from interior heap positions:
+// canceling must not leave tombstones behind, and the survivors must still
+// fire in timestamp order.
+func TestCancelRemovesEagerly(t *testing.T) {
+	k := New(7)
+	type ev struct {
+		h     Handle
+		at    Duration
+		alive bool
+	}
+	var evs []*ev
+	var fired []Duration
+	for i := 0; i < 200; i++ {
+		d := Duration(k.Rand().Intn(1000)) * Millisecond
+		e := &ev{at: d, alive: true}
+		e.h = k.After(d, func() { fired = append(fired, e.at) })
+		evs = append(evs, e)
+	}
+	alive := 200
+	for i, e := range evs {
+		if i%3 == 0 {
+			e.h.Cancel()
+			e.alive = false
+			alive--
+		}
+	}
+	if got := k.Pending(); got != alive {
+		t.Fatalf("Pending = %d after cancels, want %d (no tombstones)", got, alive)
+	}
+	k.Run()
+	if len(fired) != alive {
+		t.Fatalf("%d events fired, want %d", len(fired), alive)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events fired out of order at %d: %v < %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestStaleHandleIsInert pins the pooling safety contract: a handle held
+// past its event's firing must be a no-op even after the kernel recycles
+// the record for a new event.
+func TestStaleHandleIsInert(t *testing.T) {
+	k := New(1)
+	stale := k.After(Millisecond, func() {})
+	k.Run() // fires; record returns to the pool
+	fired := false
+	fresh := k.After(Millisecond, func() { fired = true }) // reuses the record
+	stale.Cancel()
+	if stale.Canceled() {
+		t.Fatal("stale handle reports Canceled")
+	}
+	if stale.When() != 0 {
+		t.Fatal("stale handle reports a scheduled instant")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed an unrelated recycled event")
+	}
+	_ = fresh
+}
+
 func TestDeterminism(t *testing.T) {
 	run := func() []int64 {
 		k := New(99)

@@ -1,0 +1,67 @@
+package bmcast
+
+// Allocation regression tests for the hot data paths. These pin the
+// free-list/pool work in internal/sim and internal/aoe: if a future change
+// reintroduces per-event or per-request garbage, these fail long before a
+// profile would be taken. The kernel's own zero-alloc contract is pinned in
+// internal/sim; here we hold the whole client↔server AoE stack to a budget.
+
+import (
+	"testing"
+
+	"repro/internal/aoe"
+	"repro/internal/ethernet"
+	"repro/internal/hw/disk"
+	"repro/internal/hw/nic"
+	"repro/internal/sim"
+	"repro/internal/vblade"
+)
+
+// TestAoEReadRoundTripAllocs drives single-fragment reads through the
+// initiator, switch, and vblade server, and bounds the steady-state
+// allocations of one complete round trip. The budget has headroom over the
+// measured value (which includes signal waiters and wire frames); the
+// pre-pooling implementation sat several times higher.
+func TestAoEReadRoundTripAllocs(t *testing.T) {
+	k := sim.New(1)
+	sw := ethernet.NewSwitch(k, "sw", 5*sim.Microsecond)
+	cl := nic.New(k, "cl", nic.IntelPro1000, 2, sw.Connect(ethernet.GigabitJumbo()))
+	sv := nic.New(k, "sv", nic.IntelX540, 1, sw.Connect(ethernet.GigabitJumbo()))
+	img := disk.NewSynthImage("img", 64<<20, 7)
+	srv := vblade.NewServer(k, sv, 2)
+	srv.AddTarget(0, 0, img)
+	srv.Start()
+	in := aoe.NewInitiator(k, cl, 1, 0, 0)
+
+	reqs := sim.NewQueue[int64](k, "req")
+	k.Spawn("client", func(p *sim.Proc) {
+		for {
+			lba, ok := reqs.Pop(p)
+			if !ok {
+				return
+			}
+			if _, err := in.Read(p, lba, 8); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	k.Run() // client parks on the empty queue
+
+	lba := int64(0)
+	roundTrip := func() {
+		reqs.Push(lba)
+		lba = (lba + 8) % (1 << 16)
+		k.Run()
+	}
+	for i := 0; i < 64; i++ { // warm the request pool, free lists, rings
+		roundTrip()
+	}
+	avg := testing.AllocsPerRun(256, roundTrip)
+
+	const budget = 40
+	if avg > budget {
+		t.Fatalf("one AoE read round trip allocates %.1f objects, budget %d", avg, budget)
+	}
+	t.Logf("AoE read round trip: %.1f allocs (budget %d)", avg, budget)
+}
