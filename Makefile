@@ -7,11 +7,32 @@ GO ?= go
 MICRO ?= BenchmarkSimEventThroughput|BenchmarkTrace|BenchmarkAoEHeaderMarshal|BenchmarkBitmap|BenchmarkStoreWrite|BenchmarkMediatedReadRedirect
 MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkAblation
 
-.PHONY: test bench bench-smoke
+BMCASTLINT := bin/bmcastlint
+
+.PHONY: test bench bench-smoke lint check
 
 test:
 	$(GO) build ./...
 	$(GO) test ./...
+
+# lint builds the repository's own vet tool and runs the bmcastlint
+# analyzer suite (walltime, seededrand, mapiter, pooledrelease — see
+# DESIGN.md §7) over every package via the go vet driver, then the
+# third-party checkers when available. CI installs staticcheck and
+# govulncheck at pinned versions (.github/workflows/ci.yml); local runs
+# skip them with a notice when they are not on PATH, because the build
+# container has no module proxy to install them from (which is also why
+# they are pinned in the workflow rather than via go.mod tool directives).
+lint:
+	$(GO) build -o $(BMCASTLINT) ./cmd/bmcastlint
+	$(GO) vet -vettool=$(BMCASTLINT) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed; skipping (CI runs it pinned)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed; skipping (CI runs it pinned)"; fi
+
+# check is the default pre-push gate: build + tests + the full lint suite.
+check: test lint
 
 # bench regenerates BENCH_results.json, the tracked perf baseline future
 # PRs are measured against. Micro and macro passes are concatenated into

@@ -1,0 +1,113 @@
+package bmcast_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	bmcast "repro"
+	"repro/internal/guest"
+	"repro/internal/sim"
+
+	"math/rand"
+)
+
+// deployTrace runs one full BMcast deployment through the public facade
+// with the given seed and renders every recorded span and event — names,
+// nodes, categories, and sim-timestamps — into one canonical string.
+func deployTrace(t *testing.T, seed int64) string {
+	t.Helper()
+	cfg := bmcast.DefaultConfig()
+	cfg.Seed = seed
+	cfg.ImageBytes = 64 << 20
+	cfg.DiskSectors = 1 << 20
+	cfg.EnableTrace = true
+	tb := bmcast.NewTestbed(cfg)
+	node := tb.AddNode(cfg)
+	node.M.Firmware.InitTime = sim.Second
+
+	vcfg := bmcast.DefaultVMMConfig()
+	vcfg.WriteInterval = 2 * sim.Millisecond
+	bp := bmcast.DefaultBootProfile()
+	bp.TotalBytes = 8 << 20
+	bp.CPUTime = 2 * sim.Second
+	bp.SpanSectors = cfg.ImageBytes / 2 / 512
+
+	var res *bmcast.BMcastResult
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		r, err := tb.DeployBMcast(p, node, vcfg, bp)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = r
+		tb.WaitBareMetal(p, node, res)
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if res == nil {
+		t.Fatal("deployment did not complete")
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "firmware=%d vmm=%d guest=%d deployed=%d baremetal=%d\n",
+		res.FirmwareDone, res.VMMBooted, res.GuestBooted, res.Deployed, res.BareMetal)
+	for _, s := range res.Trace.Spans() {
+		fmt.Fprintf(&b, "span %s/%s/%s %d..%d open=%v\n", s.Node, s.Cat, s.Name, s.Start, s.Stop, s.Open)
+	}
+	for _, e := range res.Trace.Events() {
+		fmt.Fprintf(&b, "event %s/%s/%s @%d\n", e.Node, e.Cat, e.Name, e.Time)
+	}
+	return b.String()
+}
+
+// TestSameSeedSameTrace pins the determinism invariant the bmcastlint
+// suite exists to protect, at the top level a user sees: two deployments
+// with the same experiment seed must produce identical traces — every
+// span and event at identical sim-times — and a different seed must still
+// produce a complete, self-consistent run.
+func TestSameSeedSameTrace(t *testing.T) {
+	a := deployTrace(t, 7)
+	b := deployTrace(t, 7)
+	if a != b {
+		t.Fatalf("same seed produced different traces:\nfirst run:\n%s\nsecond run:\n%s", a, b)
+	}
+	if !strings.Contains(a, "span") {
+		t.Fatalf("trace recorded no spans; determinism check is vacuous:\n%s", a)
+	}
+	// A different seed exercises the same code paths; it must also be
+	// internally reproducible.
+	c := deployTrace(t, 8)
+	d := deployTrace(t, 8)
+	if c != d {
+		t.Fatalf("seed 8 produced different traces across runs")
+	}
+}
+
+// TestBootTraceRandInjection pins the seededrand migration contract on
+// the boot-trace generator: Trace() is exactly TraceRand with a stream
+// seeded from the profile's own Seed, and an injected stream derived from
+// the experiment seed produces its own reproducible op list.
+func TestBootTraceRandInjection(t *testing.T) {
+	bp := guest.DefaultBootProfile()
+	bp.TotalBytes = 4 << 20
+
+	viaSeed := bp.Trace()
+	viaRand := bp.TraceRand(rand.New(rand.NewSource(bp.Seed)))
+	if len(viaSeed) == 0 || len(viaSeed) != len(viaRand) {
+		t.Fatalf("Trace and TraceRand lengths differ: %d vs %d", len(viaSeed), len(viaRand))
+	}
+	for i := range viaSeed {
+		if viaSeed[i] != viaRand[i] {
+			t.Fatalf("op %d differs between Trace and seeded TraceRand: %+v vs %+v",
+				i, viaSeed[i], viaRand[i])
+		}
+	}
+
+	injected1 := bp.TraceRand(rand.New(rand.NewSource(99)))
+	injected2 := bp.TraceRand(rand.New(rand.NewSource(99)))
+	for i := range injected1 {
+		if injected1[i] != injected2[i] {
+			t.Fatalf("same injected stream produced different ops at %d", i)
+		}
+	}
+}

@@ -59,9 +59,13 @@ func RunAll(runners []Runner, opt Options, parallel int) []Result {
 				r := runners[i]
 				o := opt
 				o.Seed = DeriveSeed(opt.Seed, r.ID)
-				start := time.Now()
+				// Wall-clock timing here is harness instrumentation, not
+				// simulation: it measures how long the host took to run the
+				// cell (reported on stderr for the operator) and never feeds
+				// back into simulated results, so determinism is unaffected.
+				start := time.Now() //bmcast:allow walltime harness cell timing, not sim state
 				tables := r.Run(o)
-				results[i] = Result{Runner: r, Tables: tables, Wall: time.Since(start)}
+				results[i] = Result{Runner: r, Tables: tables, Wall: time.Since(start)} //bmcast:allow walltime harness cell timing, not sim state
 			}
 		}()
 	}

@@ -47,9 +47,20 @@ func DefaultBootProfile() BootProfile {
 	}
 }
 
-// Trace generates the deterministic boot operation list.
+// Trace generates the deterministic boot operation list from the
+// profile's own Seed. All randomness in the trace flows from that seed —
+// never from the global math/rand source (enforced by bmcastlint's
+// seededrand analyzer) — so a profile value fully determines its trace.
 func (bp BootProfile) Trace() []BootOp {
-	rng := rand.New(rand.NewSource(bp.Seed))
+	return bp.TraceRand(rand.New(rand.NewSource(bp.Seed)))
+}
+
+// TraceRand generates the boot operation list drawing from an injected
+// rng, for callers that derive the stream from the experiment seed
+// (e.g. sim.Kernel.Rand or experiments.DeriveSeed) instead of the
+// profile's embedded Seed. The op sequence is a pure function of the
+// profile fields and the rng's draw sequence.
+func (bp BootProfile) TraceRand(rng *rand.Rand) []BootOp {
 	nReads := int(bp.TotalBytes / (bp.ReadSectors * disk.SectorSize))
 	if nReads < 1 {
 		nReads = 1

@@ -1,0 +1,63 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The repository builds in a hermetic container with no module proxy, so
+// the real x/tools framework cannot be vendored in; this package keeps the
+// same shape (Analyzer{Name, Doc, Run}, Pass.Reportf) so the bmcastlint
+// analyzers port to the upstream API mechanically if the dependency ever
+// becomes available. Only the subset bmcastlint needs exists: no facts, no
+// Requires graph, no flag plumbing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and is the token a
+	// `//bmcast:allow <name>` directive must carry to suppress it.
+	Name string
+	// Doc is the one-paragraph rationale shown by the driver's help.
+	Doc string
+	// Run inspects the package and reports findings through pass.Report.
+	// The returned value is unused (kept for x/tools signature parity).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it; analyzers
+	// should prefer Reportf.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ObjectOf resolves an identifier to its object (uses before defs),
+// or nil when the identifier is not in the type info.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}

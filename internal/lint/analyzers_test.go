@@ -1,0 +1,74 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// simFixturePath places a fixture inside the simulation subtree so the
+// determinism analyzers apply; exemptFixturePath places the same kind of
+// code in the tooling subtree where they must stay silent.
+const (
+	simFixturePath    = "repro/internal/sim/lintfixture"
+	exemptFixturePath = "repro/cmd/lintfixture"
+	moduleFixturePath = "repro/internal/lintfixture"
+)
+
+func TestWalltime(t *testing.T) {
+	linttest.Run(t, "testdata/src/walltime", simFixturePath, lint.WalltimeAnalyzer)
+}
+
+func TestWalltimeSkipsExemptPackages(t *testing.T) {
+	// The exempt fixture calls time.Now and rand.Intn with no want
+	// comments: any finding fails the test.
+	linttest.Run(t, "testdata/src/exempt", exemptFixturePath,
+		lint.WalltimeAnalyzer, lint.SeededRandAnalyzer)
+}
+
+func TestWalltimeSkipsForeignPackages(t *testing.T) {
+	// A dependency outside the module (go vet feeds the vettool every
+	// import for fact extraction) must never be flagged.
+	linttest.Run(t, "testdata/src/exempt", "example.com/outside",
+		lint.WalltimeAnalyzer, lint.SeededRandAnalyzer,
+		lint.MapIterAnalyzer, lint.PooledReleaseAnalyzer)
+}
+
+func TestSeededRand(t *testing.T) {
+	linttest.Run(t, "testdata/src/seededrand", simFixturePath, lint.SeededRandAnalyzer)
+}
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, "testdata/src/mapiter", moduleFixturePath, lint.MapIterAnalyzer)
+}
+
+func TestPooledRelease(t *testing.T) {
+	linttest.Run(t, "testdata/src/pooledrelease", moduleFixturePath, lint.PooledReleaseAnalyzer)
+}
+
+func TestIsSimPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		sim  bool
+	}{
+		{"repro/internal/sim", true},
+		{"repro/internal/cpuvirt", true},
+		{"repro/internal/hw/disk", true},
+		{"repro/internal/experiments", true},
+		{"repro/internal/sim [repro/internal/sim.test]", true},
+		{"repro", true},
+		{"repro/internal/lint", false},
+		{"repro/internal/lint/linttest", false},
+		{"repro/cmd/bmcast-sim", false},
+		{"repro/examples/quickstart", false},
+		{"time", false},
+		{"math/rand", false},
+		{"reprox/internal/sim", false},
+	}
+	for _, c := range cases {
+		if got := lint.IsSimPackage(c.path); got != c.sim {
+			t.Errorf("IsSimPackage(%q) = %v, want %v", c.path, got, c.sim)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch for code that legitimately breaks a bmcastlint
+// invariant is a line comment of the form
+//
+//	//bmcast:allow <analyzer> [free-form justification]
+//
+// A directive suppresses diagnostics from exactly one analyzer, and only
+// on its own line (end-of-line form) or on the single line immediately
+// below it (standalone form). Anything looser — a directive floating a few
+// lines above the violation, or one naming a different analyzer — must not
+// suppress, so that stale directives rot visibly instead of silently
+// widening their blast radius.
+
+// directivePrefix is the comment prefix that marks a bmcastlint directive.
+// Like //go: directives, there is no space after the //.
+const directivePrefix = "//bmcast:"
+
+// Malformed records a directive comment that looks like one of ours but
+// cannot be honoured: unknown verb, missing or unknown analyzer name.
+// The driver reports these as findings so typos fail the build instead of
+// silently not suppressing.
+type Malformed struct {
+	Pos    token.Pos
+	Reason string
+}
+
+// Allowlist holds the parsed suppressions for one file.
+type Allowlist struct {
+	// lines maps analyzer name -> set of file line numbers on which that
+	// analyzer's diagnostics are suppressed.
+	lines     map[string]map[int]bool
+	Malformed []Malformed
+}
+
+// Allows reports whether diagnostics from the named analyzer are
+// suppressed on the given (1-based) file line.
+func (a Allowlist) Allows(analyzer string, line int) bool {
+	return a.lines[analyzer][line]
+}
+
+// ParseAllowlist scans every comment of file for bmcast directives.
+// known is the set of analyzer names a directive may legitimately name;
+// directives naming anything else are recorded as Malformed.
+func ParseAllowlist(fset *token.FileSet, file *ast.File, known map[string]bool) Allowlist {
+	a := Allowlist{lines: make(map[string]map[int]bool)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			verb, args, _ := strings.Cut(rest, " ")
+			if verb != "allow" {
+				a.Malformed = append(a.Malformed, Malformed{
+					Pos:    c.Pos(),
+					Reason: "unknown bmcast directive verb " + quote(verb) + " (only //bmcast:allow <analyzer> exists)",
+				})
+				continue
+			}
+			name, _, _ := strings.Cut(strings.TrimSpace(args), " ")
+			if name == "" {
+				a.Malformed = append(a.Malformed, Malformed{
+					Pos:    c.Pos(),
+					Reason: "bmcast:allow directive names no analyzer",
+				})
+				continue
+			}
+			if !known[name] {
+				a.Malformed = append(a.Malformed, Malformed{
+					Pos:    c.Pos(),
+					Reason: "bmcast:allow names unknown analyzer " + quote(name),
+				})
+				continue
+			}
+			if a.lines[name] == nil {
+				a.lines[name] = make(map[int]bool)
+			}
+			// The directive covers its own line (end-of-line form) and the
+			// next line (standalone form). Nothing further: distance breeds
+			// stale suppressions.
+			line := fset.Position(c.Pos()).Line
+			a.lines[name][line] = true
+			a.lines[name][line+1] = true
+		}
+	}
+	return a
+}
+
+// quote wraps a token in double quotes for an error message.
+func quote(s string) string { return `"` + s + `"` }

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestDirectiveEndOfLineSuppressesOwnLine(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package x
+
+func f() {
+	_ = 1 //bmcast:allow walltime timing the harness
+}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ParseAllowlist(fset, f, AnalyzerNames())
+	if len(a.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %+v", a.Malformed)
+	}
+	if !a.Allows("walltime", 4) {
+		t.Error("end-of-line directive must suppress its own line")
+	}
+	if !a.Allows("walltime", 5) {
+		t.Error("directive must also cover the following line (standalone form)")
+	}
+	if a.Allows("walltime", 3) {
+		t.Error("directive must not reach the line above it")
+	}
+	if a.Allows("walltime", 6) {
+		t.Error("directive must not reach two lines below")
+	}
+	if a.Allows("seededrand", 4) {
+		t.Error("directive must suppress only the named analyzer")
+	}
+}
+
+func TestDirectiveStandaloneSuppressesNextLineOnly(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package x
+
+func f() {
+	//bmcast:allow seededrand demo seed
+	_ = 1
+	_ = 2
+}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ParseAllowlist(fset, f, AnalyzerNames())
+	if !a.Allows("seededrand", 5) {
+		t.Error("standalone directive must suppress the next line")
+	}
+	if a.Allows("seededrand", 6) {
+		t.Error("directive on the wrong line (two above) must not suppress")
+	}
+}
+
+func TestDirectiveMalformed(t *testing.T) {
+	cases := []struct {
+		src    string
+		reason string // substring of the expected malformed reason
+	}{
+		{"//bmcast:allow", "names no analyzer"},
+		{"//bmcast:allow   ", "names no analyzer"},
+		{"//bmcast:allow waltime typo in the name", "unknown analyzer"},
+		{"//bmcast:allow notananalyzer", "unknown analyzer"},
+		{"//bmcast:deny walltime", "unknown bmcast directive verb"},
+		{"//bmcast:allowwalltime", "unknown bmcast directive verb"},
+	}
+	for _, c := range cases {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "x.go", "package x\n\n"+c.src+"\nfunc f() {}\n", parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		a := ParseAllowlist(fset, f, AnalyzerNames())
+		if len(a.Malformed) != 1 {
+			t.Errorf("%q: got %d malformed entries, want 1 (%+v)", c.src, len(a.Malformed), a.Malformed)
+			continue
+		}
+		if !strings.Contains(a.Malformed[0].Reason, c.reason) {
+			t.Errorf("%q: reason %q does not mention %q", c.src, a.Malformed[0].Reason, c.reason)
+		}
+		for name := range AnalyzerNames() {
+			line := fset.Position(a.Malformed[0].Pos).Line
+			if a.Allows(name, line) || a.Allows(name, line+1) {
+				t.Errorf("%q: malformed directive must not suppress %s", c.src, name)
+			}
+		}
+	}
+}
+
+func TestDirectiveIgnoresOrdinaryComments(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package x
+
+// bmcast:allow walltime -- a prose mention with a space is not a directive
+// and neither is //bmcast:allow inside a doc sentence.
+func f() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ParseAllowlist(fset, f, AnalyzerNames())
+	if len(a.Malformed) != 0 {
+		t.Errorf("prose comments misparsed as directives: %+v", a.Malformed)
+	}
+	for line := 1; line <= 6; line++ {
+		if a.Allows("walltime", line) {
+			t.Errorf("prose comment must not suppress anything (line %d)", line)
+		}
+	}
+}

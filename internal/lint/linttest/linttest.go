@@ -1,0 +1,128 @@
+// Package linttest runs bmcastlint analyzers over testdata fixtures the
+// way golang.org/x/tools/go/analysis/analysistest does: fixture sources
+// carry `// want "regexp"` comments naming the diagnostics they expect,
+// and the harness fails the test on any missing or unexpected finding.
+// (The real analysistest is unavailable in this hermetic build; this
+// covers the subset the suite needs, including multiple wants per line.)
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run type-checks the fixture package in dir under the given import path
+// (the path decides whether lint.IsSimPackage applies) and checks the
+// analyzers' findings against the fixture's want comments.
+func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, wants := parseFixture(t, fset, dir)
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	findings, err := lint.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected finding [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unhit want matching f and reports success.
+func claim(wants []*want, f lint.Finding) bool {
+	base := filepath.Base(f.Pos.Filename)
+	for _, w := range wants {
+		if !w.hit && w.file == base && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseFixture parses every .go file in dir and extracts want comments.
+func parseFixture(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, []*want) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, arg[1], err)
+					}
+					wants = append(wants, &want{file: e.Name(), line: line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return fset.Position(files[i].Pos()).Filename < fset.Position(files[j].Pos()).Filename
+	})
+	return files, wants
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapIterAnalyzer flags `range` over a map whose iteration order escapes
+// into ordered output. Go randomizes map iteration order on purpose; any
+// code that lets that order reach a returned slice or an io.Writer makes
+// output differ run to run even under a fixed seed — the bug class the
+// registry's Snapshot and the chrome-trace exporter each had to sort their
+// way out of.
+//
+// A range over a map is reported when its body either
+//
+//   - writes through an ordered sink (fmt.Fprint*, io.WriteString, or a
+//     Write/WriteString/WriteByte/WriteRune method, e.g. on bytes.Buffer
+//     or strings.Builder), or
+//   - appends to a slice that the enclosing function returns, with no
+//     sort call (package sort or slices) between the loop and the return.
+//
+// The classic collect-then-sort idiom —
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// — is therefore not flagged, while returning the unsorted collection is.
+var MapIterAnalyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flag map iteration whose nondeterministic order escapes into " +
+		"returned slices or writer output without an intervening sort",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *analysis.Pass) (any, error) {
+	if !InModule(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncMapIter(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFuncMapIter(pass *analysis.Pass, fd *ast.FuncDecl) {
+	returned := returnedObjects(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sink := orderedSinkInBody(pass, rs.Body, returned); sink != "" {
+			if sink == "return" && sortedAfter(pass, fd, rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"map iteration order escapes into %s; sort before emitting (or iterate a sorted key slice)",
+				describeSink(sink))
+		}
+		return true
+	})
+}
+
+func describeSink(sink string) string {
+	if sink == "return" {
+		return "a returned slice"
+	}
+	return sink
+}
+
+// returnedObjects collects the variables whose value can leave fd through
+// a return statement (plain identifier results and named result
+// parameters).
+func returnedObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := res.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// orderedSinkInBody reports how loop-order-dependent data leaves the range
+// body: a writer-call description, "return" for an append chained to a
+// returned slice, or "" for no escape.
+func orderedSinkInBody(pass *analysis.Pass, body *ast.BlockStmt, returned map[types.Object]bool) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s := writerCall(pass, call); s != "" {
+			sink = s
+			return false
+		}
+		// x = append(x, ...) where x is (eventually) returned.
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				if target := appendTarget(pass, call); target != nil && returned[target] {
+					sink = "return"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// appendTarget resolves the variable an `append` call's result is assigned
+// to, when the enclosing statement has the canonical `x = append(x, ...)`
+// shape (detected by matching the first argument).
+func appendTarget(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	if id, ok := call.Args[0].(*ast.Ident); ok {
+		return pass.TypesInfo.Uses[id]
+	}
+	return nil
+}
+
+// writerCall describes call if it emits bytes in call order: fmt.Fprint*,
+// io.WriteString, or a Write* method on any receiver. Empty when not.
+func writerCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return ""
+	}
+	name := obj.Name()
+	if recv := obj.Type().(*types.Signature).Recv(); recv == nil {
+		switch {
+		case obj.Pkg().Path() == "fmt" && (name == "Fprint" || name == "Fprintf" || name == "Fprintln"):
+			return "fmt." + name
+		case obj.Pkg().Path() == "io" && name == "WriteString":
+			return "io.WriteString"
+		}
+		return ""
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return "a " + name + " call"
+	}
+	return ""
+}
+
+// sortedAfter reports whether a sort (package sort or slices) happens
+// after rs within fd — the collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= rs.End() {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p == "sort" || p == "slices" {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,389 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// PooledReleaseAnalyzer flags use of a pooled value after it has been
+// released back to its pool within the same function. The simulator leans
+// on free-lists for its zero-alloc hot paths — the sim kernel's event
+// records, the AoE initiator's request pool, recycled disk buffers — and
+// a record touched after release is the worst kind of bug: it corrupts
+// whichever *later* event reuses the record, far from the culprit, and
+// only under workloads that recycle fast enough.
+//
+// A value is considered released by any of:
+//
+//   - a call releasing its single pointer argument: x.release(v),
+//     pool.Put(v), x.free(v)
+//   - a free-list push: append(x.free, v), append(x.reqPool, v) — any
+//     append whose destination name contains "free" or "pool"
+//   - a Release/Free method on the value itself, v.Release() — but only
+//     when the package demonstrably pools v's type (it appears in one of
+//     the two patterns above somewhere in the package). This keeps
+//     semaphore-style Release methods (sim.Resource, hw/mem.Memory) out
+//     of scope: releasing capacity is not releasing memory.
+//
+// After the release statement, any read or write through the released
+// variable in the same straight-line block (or in blocks nested under
+// later statements) is reported, until the variable is reassigned.
+// Releases inside a conditional branch do not poison code after the
+// branch: early-return error paths (`if err != nil { release(v); return }`)
+// stay clean. This is deliberately a same-function, straight-line
+// analysis — cheap, zero false positives on the idioms the simulator
+// uses — not a whole-program escape analysis.
+var PooledReleaseAnalyzer = &analysis.Analyzer{
+	Name: "pooledrelease",
+	Doc: "flag reads/writes through a pooled value after its release/free-list " +
+		"put within the same function",
+	Run: runPooledRelease,
+}
+
+// releaseMethodsOnValue are method names that release their receiver
+// (gated on the receiver's type being pooled in this package).
+var releaseMethodsOnValue = map[string]bool{"Release": true, "Free": true}
+
+// releaseFuncs are function/method names that release their single
+// pointer argument.
+var releaseFuncs = map[string]bool{"release": true, "free": true, "put": true, "Put": true, "Release": true, "Free": true}
+
+type prChecker struct {
+	pass *analysis.Pass
+	// pooled is the set of named types this package puts on a free list;
+	// only these may be released through a receiver method.
+	pooled map[*types.TypeName]bool
+}
+
+func runPooledRelease(pass *analysis.Pass) (any, error) {
+	if !InModule(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	c := &prChecker{pass: pass, pooled: map[*types.TypeName]bool{}}
+	for _, f := range pass.Files {
+		c.collectPooledTypes(f)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkBlock(fd.Body.List, map[*types.Var]token.Pos{})
+		}
+	}
+	return nil, nil
+}
+
+// collectPooledTypes records the named types that flow into a free-list
+// push or a release call anywhere in f.
+func (c *prChecker) collectPooledTypes(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if args := c.freelistPushArgs(call); args != nil {
+			for _, arg := range args {
+				if tn := namedOf(c.pass.TypesInfo.TypeOf(arg)); tn != nil {
+					c.pooled[tn] = true
+				}
+			}
+		}
+		if arg := c.releaseCallArg(call); arg != nil {
+			if tn := namedOf(c.pass.TypesInfo.TypeOf(arg)); tn != nil {
+				c.pooled[tn] = true
+			}
+		}
+		return true
+	})
+}
+
+// freelistPushArgs returns the values call pushes onto a free list
+// (append(x.free, v...) with a pool-named destination), or nil.
+func (c *prChecker) freelistPushArgs(call *ast.CallExpr) []ast.Expr {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return nil
+	}
+	if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	if !isPoolName(exprName(call.Args[0])) {
+		return nil
+	}
+	return call.Args[1:]
+}
+
+// releaseCallArg returns the single pointer argument released by an
+// x.release(v)-shaped call, or nil.
+func (c *prChecker) releaseCallArg(call *ast.CallExpr) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !releaseFuncs[sel.Sel.Name] || len(call.Args) != 1 {
+		return nil
+	}
+	t := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if t == nil {
+		return nil
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// namedOf unwraps pointers to the defining TypeName, or nil for
+// unnamed/builtin types.
+func namedOf(t types.Type) *types.TypeName {
+	for t != nil {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj()
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// checkBlock walks stmts in order, tracking which pooled variables have
+// been released so far. released maps the variable to the position of its
+// release. The map is mutated for statements at this level; nested
+// conditional bodies get a copy so their releases stay local to the
+// branch.
+func (c *prChecker) checkBlock(stmts []ast.Stmt, released map[*types.Var]token.Pos) {
+	for _, stmt := range stmts {
+		// 1. Uses of already-released values are violations. Compound
+		// statements contribute only their header expressions here — their
+		// bodies are visited exactly once by the recursion below. A plain
+		// identifier being overwritten on an assignment's left-hand side
+		// is not a use — it is the revival below — so those exact nodes
+		// are exempt.
+		if len(released) > 0 {
+			for _, part := range shallowParts(stmt) {
+				c.reportUses(part, released, assignTargets(stmt))
+			}
+		}
+
+		// 2. Reassignment revives a variable: `e = &event{}` or
+		// `pr = pool.Get()` makes it a fresh record.
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+						delete(released, v)
+					}
+				}
+			}
+		}
+
+		// 3. Record new releases performed by this statement — but only
+		// when the statement executes unconditionally at this level
+		// (defers and goroutines run elsewhere in time; branches are
+		// handled below with local copies).
+		switch s := stmt.(type) {
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt:
+			c.markReleases(s, released)
+		case *ast.BlockStmt:
+			c.checkBlock(s.List, released) // plain block: same certainty
+		case *ast.IfStmt:
+			c.checkBranchBody(s.Body, released)
+			if s.Else != nil {
+				if eb, ok := s.Else.(*ast.BlockStmt); ok {
+					c.checkBranchBody(eb, released)
+				} else {
+					c.checkBlock([]ast.Stmt{s.Else}, cloneReleased(released))
+				}
+			}
+		case *ast.ForStmt:
+			c.checkBranchBody(s.Body, released)
+		case *ast.RangeStmt:
+			c.checkBranchBody(s.Body, released)
+		case *ast.SwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c.checkBlock(cc.Body, cloneReleased(released))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c.checkBlock(cc.Body, cloneReleased(released))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					c.checkBlock(cc.Body, cloneReleased(released))
+				}
+			}
+		}
+	}
+}
+
+// checkBranchBody analyzes a conditionally-executed body: outer releases
+// are visible inside (using a released value in a later branch is still a
+// bug), but releases made inside stay inside.
+func (c *prChecker) checkBranchBody(body *ast.BlockStmt, released map[*types.Var]token.Pos) {
+	c.checkBlock(body.List, cloneReleased(released))
+}
+
+func cloneReleased(m map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// shallowParts returns the pieces of stmt that checkBlock's recursion
+// does not visit on its own: the whole statement for simple statements,
+// and only the header expressions (init, condition, ranged operand, case
+// values, comm statements) for compound ones, whose bodies are recursed.
+func shallowParts(stmt ast.Stmt) []ast.Node {
+	// Optional fields (Init, Cond, ...) are nil interfaces when absent;
+	// converting them to ast.Node keeps them nil, so one check suffices.
+	add := func(parts []ast.Node, ns ...ast.Node) []ast.Node {
+		for _, n := range ns {
+			if n != nil {
+				parts = append(parts, n)
+			}
+		}
+		return parts
+	}
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		return add(nil, s.Init, s.Cond)
+	case *ast.ForStmt:
+		return add(nil, s.Init, s.Cond, s.Post)
+	case *ast.RangeStmt:
+		return add(nil, s.X)
+	case *ast.SwitchStmt:
+		parts := add(nil, s.Init, s.Tag)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					parts = add(parts, e)
+				}
+			}
+		}
+		return parts
+	case *ast.TypeSwitchStmt:
+		return add(nil, s.Init, s.Assign)
+	case *ast.SelectStmt:
+		var parts []ast.Node
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				parts = add(parts, cc.Comm)
+			}
+		}
+		return parts
+	case *ast.BlockStmt:
+		return nil // fully covered by recursion
+	default:
+		return []ast.Node{stmt}
+	}
+}
+
+// assignTargets returns the exact identifier nodes that stmt overwrites
+// (plain-ident LHS of an assignment).
+func assignTargets(stmt ast.Stmt) map[*ast.Ident]bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return nil
+	}
+	out := make(map[*ast.Ident]bool, len(as.Lhs))
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// reportUses flags every identifier under node that resolves to a
+// released variable, except the exempt overwrite targets.
+func (c *prChecker) reportUses(node ast.Node, released map[*types.Var]token.Pos, exempt map[*ast.Ident]bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || exempt[id] {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if relPos, wasReleased := released[v]; wasReleased {
+			c.pass.Reportf(id.Pos(),
+				"%s used after being released to its pool at %s; the record may already belong to another owner",
+				id.Name, c.pass.Fset.Position(relPos))
+		}
+		return true
+	})
+}
+
+// markReleases scans one unconditionally-executed statement for release
+// patterns and records the released variables.
+func (c *prChecker) markReleases(stmt ast.Stmt, released map[*types.Var]token.Pos) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if args := c.freelistPushArgs(call); args != nil {
+			for _, arg := range args {
+				c.markVar(arg, call.Pos(), released)
+			}
+			return true
+		}
+		if arg := c.releaseCallArg(call); arg != nil {
+			c.markVar(arg, call.Pos(), released)
+			return true
+		}
+		// v.Release() / v.Free(): receiver released, if its type is
+		// actually pooled somewhere in this package.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			releaseMethodsOnValue[sel.Sel.Name] && len(call.Args) == 0 {
+			if tn := namedOf(c.pass.TypesInfo.TypeOf(sel.X)); tn != nil && c.pooled[tn] {
+				c.markVar(sel.X, call.Pos(), released)
+			}
+		}
+		return true
+	})
+}
+
+// markVar records expr as released when it is a plain local identifier.
+// Field selectors (in.pending[id]) are beyond straight-line tracking.
+func (c *prChecker) markVar(expr ast.Expr, at token.Pos, released map[*types.Var]token.Pos) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && !v.IsField() {
+		released[v] = at
+	}
+}
+
+// exprName renders the trailing name of an identifier or selector chain
+// ("free" for k.free), for pool-name matching.
+func exprName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// isPoolName reports whether a destination name marks a free-list.
+func isPoolName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "free") || strings.Contains(l, "pool")
+}

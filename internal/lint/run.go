@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// DirectiveCheckName is the pseudo-analyzer name under which malformed
+// //bmcast: directives are reported. It is not suppressible: a directive
+// broken enough to be reported is broken enough to fix.
+const DirectiveCheckName = "bmcastdirective"
+
+// Finding is one diagnostic after directive filtering, ready to print.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run executes every analyzer in analyzers over one type-checked package
+// and returns the findings that survive //bmcast:allow filtering, in
+// source order. Malformed directives are themselves findings (under
+// DirectiveCheckName) for packages inside this module.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	analyzers []*analysis.Analyzer) ([]Finding, error) {
+
+	known := AnalyzerNames()
+	allow := make(map[string]Allowlist, len(files)) // by filename
+	var findings []Finding
+	if InModule(pkg.Path()) {
+		for _, f := range files {
+			a := ParseAllowlist(fset, f, known)
+			allow[fset.Position(f.Pos()).Filename] = a
+			for _, m := range a.Malformed {
+				findings = append(findings, Finding{
+					Analyzer: DirectiveCheckName,
+					Pos:      fset.Position(m.Pos),
+					Message:  m.Reason,
+				})
+			}
+		}
+	}
+
+	for _, az := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  az,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := az.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if allow[pos.Filename].Allows(name, pos.Line) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := az.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}

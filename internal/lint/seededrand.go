@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// SeededRandAnalyzer forbids nondeterministic randomness in simulation
+// packages. Two shapes are flagged:
+//
+//  1. The package-level convenience functions of math/rand and
+//     math/rand/v2 (rand.Intn, rand.Float64, rand.Shuffle, ...). They draw
+//     from a process-global source that is shared across cells, seeded
+//     behind the simulator's back (auto-seeded since Go 1.20), and ordered
+//     by goroutine interleaving — three separate ways to lose determinism.
+//     Simulation code takes an injected *rand.Rand derived from the
+//     experiment seed (sim.Kernel.Rand, BootProfile.Seed) instead.
+//
+//  2. Source construction whose seed derives from the wall clock:
+//     rand.New(rand.NewSource(time.Now().UnixNano())) and friends.
+//     rand.NewSource itself is legal — it is exactly how the kernel turns
+//     the experiment seed into a stream — but feeding it the clock
+//     reintroduces the nondeterminism the seed plumbing exists to remove.
+var SeededRandAnalyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions and wall-clock-seeded sources in " +
+		"simulation packages; randomness must flow from the experiment seed",
+	Run: runSeededRand,
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func runSeededRand(pass *analysis.Pass) (any, error) {
+	if !IsSimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || obj.Pkg() == nil || !isRandPkg(obj.Pkg().Path()) {
+				return true
+			}
+			if obj.Type().(*types.Signature).Recv() != nil {
+				return true // methods on an injected *rand.Rand are the fix, not the bug
+			}
+			switch obj.Name() {
+			case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+				// Constructors are legal unless their seed reads the clock.
+				if call := enclosingCall(f, id); call != nil && callReadsClock(pass, call) {
+					pass.Reportf(id.Pos(),
+						"rand.%s seeded from the wall clock; derive the seed from the experiment seed instead",
+						obj.Name())
+				}
+			default:
+				pass.Reportf(id.Pos(),
+					"rand.%s draws from the global math/rand source; simulation code must use an injected *rand.Rand derived from the experiment seed",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// enclosingCall finds the innermost CallExpr whose callee expression
+// contains id (so `rand.New` in `rand.New(src)` resolves to that call, but
+// `src` as an argument does not). ast.Inspect visits outer calls before
+// inner ones, so the last match wins.
+func enclosingCall(f *ast.File, id *ast.Ident) *ast.CallExpr {
+	var best *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok &&
+			id.Pos() >= call.Fun.Pos() && id.End() <= call.Fun.End() {
+			best = call
+		}
+		return true
+	})
+	return best
+}
+
+// callReadsClock reports whether any argument of call (transitively, in
+// the source text of the call) invokes a wall-clock function of "time".
+func callReadsClock(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if ok && obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+				obj.Type().(*types.Signature).Recv() == nil && walltimeForbidden[obj.Name()] {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,15 @@
+// Fixture for analyzer scoping: type-checked under an exempt import path
+// (repro/cmd/...), where harness code may read the wall clock and use
+// ad-hoc randomness freely. No finding is expected anywhere in this file.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func harnessTiming() (time.Duration, int) {
+	start := time.Now()
+	n := rand.Intn(10)
+	return time.Since(start), n
+}

@@ -1,0 +1,68 @@
+// Fixture for the mapiter analyzer: map iteration order escaping into
+// ordered output (returned slices, writer streams) is flagged; the
+// collect-then-sort idiom and order-insensitive reductions are not.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badReturnedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order escapes"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badWriterInBody(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order escapes"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func badStringBuilder(m map[string]int) string {
+	sink := &builder{}
+	for k := range m { // want "map iteration order escapes"
+		sink.WriteString(k)
+	}
+	return sink.s
+}
+
+func goodReduction(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodSliceRange(xs []string, w io.Writer) {
+	for _, x := range xs { // slices iterate in order; nothing to flag
+		fmt.Fprintln(w, x)
+	}
+}
+
+func allowedDump(w io.Writer, m map[string]int) {
+	//bmcast:allow mapiter fixture: debug dump, order irrelevant
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// builder is a local stand-in for strings.Builder so the fixture needs no
+// extra imports.
+type builder struct{ s string }
+
+func (b *builder) WriteString(s string) (int, error) { b.s += s; return len(s), nil }

@@ -1,0 +1,111 @@
+// Fixture for the pooledrelease analyzer: touching a pooled record after
+// returning it to its free list is flagged; conditional early-return
+// release paths and reassignment (taking a fresh record) are not.
+package fixture
+
+type record struct {
+	id   int
+	data []byte
+}
+
+type pool struct {
+	freeList []*record
+}
+
+func (p *pool) get() *record {
+	if n := len(p.freeList) - 1; n >= 0 {
+		r := p.freeList[n]
+		p.freeList = p.freeList[:n]
+		return r
+	}
+	return &record{}
+}
+
+func (p *pool) release(r *record) {
+	r.data = r.data[:0]
+	p.freeList = append(p.freeList, r)
+}
+
+func badUseAfterRelease(p *pool) int {
+	r := p.get()
+	r.id = 1
+	p.release(r)
+	return r.id // want "used after being released"
+}
+
+func badUseAfterFreelistPush(p *pool, r *record) {
+	p.freeList = append(p.freeList, r)
+	r.id = 7 // want "used after being released"
+}
+
+func badWriteInLaterBranch(p *pool, cond bool) {
+	r := p.get()
+	p.release(r)
+	if cond {
+		r.id = 9 // want "used after being released"
+	}
+}
+
+func badDoubleRelease(p *pool) {
+	r := p.get()
+	p.release(r)
+	p.release(r) // want "used after being released"
+}
+
+func goodEarlyReturnRelease(p *pool, fail bool) int {
+	r := p.get()
+	if fail {
+		p.release(r)
+		return -1
+	}
+	id := r.id // the release above is on the abandoned branch
+	p.release(r)
+	return id
+}
+
+func goodReassignmentRevives(p *pool) int {
+	r := p.get()
+	p.release(r)
+	r = p.get()
+	return r.id // fresh record
+}
+
+func goodReleaseLast(p *pool) int {
+	r := p.get()
+	id := r.id
+	p.release(r)
+	return id
+}
+
+func allowedUse(p *pool) int {
+	r := p.get()
+	p.release(r)
+	//bmcast:allow pooledrelease fixture: the escape hatch
+	return r.id
+}
+
+// Free pushes the record onto a package-level free list, which marks
+// *record as a pooled type, so the receiver form r.Free() also counts as
+// a release.
+var recordFreeList []*record
+
+func (r *record) Free() { recordFreeList = append(recordFreeList, r) }
+
+func badUseAfterSelfFree(r *record) {
+	r.Free()
+	r.id = 3 // want "used after being released"
+}
+
+// gauge has a Release method but is never pooled anywhere in this
+// package: semaphore-style release-then-reuse must not be flagged.
+type gauge struct{ held int }
+
+func (g *gauge) Acquire() { g.held++ }
+func (g *gauge) Release() { g.held-- }
+
+func goodSemaphoreRelease(g *gauge) int {
+	g.Acquire()
+	g.Release()
+	g.Acquire() // not a pooled record: reuse is the whole point
+	return g.held
+}

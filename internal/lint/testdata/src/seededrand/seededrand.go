@@ -1,0 +1,45 @@
+// Fixture for the seededrand analyzer: type-checked as a simulation
+// package. Global math/rand draws and wall-clock-seeded sources are
+// flagged; seed-injected streams are the approved replacement.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badGlobalDraw() int {
+	return rand.Intn(10) // want "global math/rand"
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand"
+}
+
+func badGlobalFloat() float64 {
+	return rand.Float64() // want "global math/rand"
+}
+
+func badClockSeed() *rand.Rand {
+	// Both the constructor and the source are clock-seeded here.
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock" "seeded from the wall clock"
+}
+
+func goodInjectedSeed(seed int64) *rand.Rand {
+	// The kernel's own idiom: the seed flows in from experiment config.
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodDrawFromInjected(rng *rand.Rand) int {
+	// Methods on an injected stream are the fix, not the bug.
+	return rng.Intn(10)
+}
+
+func allowedStandalone() int {
+	//bmcast:allow seededrand fixture: the escape hatch
+	return rand.Int()
+}
+
+func allowedEndOfLine() int {
+	return rand.Intn(3) //bmcast:allow seededrand fixture: end-of-line form
+}

@@ -1,0 +1,43 @@
+// Fixture for the walltime analyzer: type-checked as a simulation
+// package, so every wall-clock read must be flagged unless a correctly
+// placed //bmcast:allow walltime directive covers it.
+package fixture
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()          // want "wall clock"
+	time.Sleep(time.Millisecond) // want "wall clock"
+	return time.Since(start)     // want "wall clock"
+}
+
+func badTimers() {
+	_ = time.NewTimer(time.Second)  // want "wall clock"
+	_ = time.NewTicker(time.Second) // want "wall clock"
+	_ = time.After(time.Second)     // want "wall clock"
+}
+
+func durationMathIsFine(d time.Duration) time.Duration {
+	// Duration values and their methods never touch the clock.
+	return 2*d + time.Millisecond.Round(time.Microsecond)
+}
+
+func allowedStandalone() time.Time {
+	//bmcast:allow walltime fixture: standalone directive covers the next line
+	return time.Now()
+}
+
+func allowedEndOfLine() {
+	time.Sleep(time.Millisecond) //bmcast:allow walltime fixture: end-of-line form
+}
+
+func directiveTooFarAway() {
+	//bmcast:allow walltime fixture: two lines up, must not suppress
+	_ = 0
+	time.Sleep(time.Millisecond) // want "wall clock"
+}
+
+func directiveForOtherAnalyzer() {
+	//bmcast:allow seededrand fixture: wrong analyzer, must not suppress
+	time.Sleep(time.Millisecond) // want "wall clock"
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// walltimeForbidden are the package-level functions of "time" that read or
+// act on the wall clock. Pure value constructors (time.Duration arithmetic,
+// time.Unix on stored stamps) are fine — it is the *clock* that breaks
+// determinism, not the types.
+var walltimeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WalltimeAnalyzer forbids wall-clock access in simulation packages.
+//
+// Simulation code advances on sim.Kernel's virtual clock only; a single
+// time.Now() smuggled into a model makes runs differ between machines and
+// between repetitions, which silently invalidates every same-seed
+// comparison the experiment harness depends on. Harness code that times
+// real execution (the parallel runner's per-cell wall clock) carries a
+// line-anchored //bmcast:allow walltime directive instead.
+var WalltimeAnalyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Sleep/timers in simulation packages; " +
+		"sim code must advance on sim.Kernel time only",
+	Run: runWalltime,
+}
+
+func runWalltime(pass *analysis.Pass) (any, error) {
+	if !IsSimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if obj.Type().(*types.Signature).Recv() != nil {
+				return true // methods on Time/Duration values are harmless
+			}
+			if walltimeForbidden[obj.Name()] {
+				pass.Reportf(id.Pos(),
+					"time.%s reads the wall clock; simulation code must use sim.Kernel time (annotate harness code with //bmcast:allow walltime)",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
