@@ -9,11 +9,22 @@ MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkAblation
 
 BMCASTLINT := bin/bmcastlint
 
-.PHONY: test bench bench-smoke lint check
+.PHONY: test bench bench-smoke lint check chaos
 
 test:
 	$(GO) build ./...
 	$(GO) test ./...
+
+# chaos runs the fault-injection and recovery suite under the race
+# detector: the scripted fault schedules (internal/faults), the crash /
+# failover / watchdog scenarios in vblade, aoe, core, cloud and testbed,
+# and the top-level determinism-under-faults replay check.
+chaos:
+	$(GO) test -race -count=1 \
+		./internal/faults/ ./internal/ethernet/ ./internal/vblade/ ./internal/aoe/
+	$(GO) test -race -count=1 \
+		-run 'Fault|Failover|Watchdog|Deadline|Crash|Chaos|DeadServer|Redeploy|MediaError|StopMidFlight' \
+		./internal/core/ ./internal/cloud/ ./internal/testbed/ .
 
 # lint builds the repository's own vet tool and runs the bmcastlint
 # analyzer suite (walltime, seededrand, mapiter, pooledrelease — see

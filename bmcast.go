@@ -37,6 +37,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/guest"
 	"repro/internal/report"
 	"repro/internal/testbed"
@@ -62,13 +63,27 @@ type VMM = core.VMM
 // Phase is the deployment lifecycle state.
 type Phase = core.Phase
 
-// Deployment phases (paper §3.1).
+// Deployment phases (paper §3.1). PhaseFailed is reached when the
+// deployment watchdog gives up on a stalled or over-deadline deployment.
 const (
 	PhaseInitialization   = core.PhaseInitialization
 	PhaseDeployment       = core.PhaseDeployment
 	PhaseDevirtualization = core.PhaseDevirtualization
 	PhaseBareMetal        = core.PhaseBareMetal
+	PhaseFailed           = core.PhaseFailed
 )
+
+// FaultSchedule is an ordered, sim-time-stamped list of fault events
+// (link down/up, partitions, corruption, server crashes, media errors)
+// applied deterministically to a testbed.
+type FaultSchedule = faults.Schedule
+
+// FaultInjector applies fault schedules to registered links and servers.
+type FaultInjector = faults.Injector
+
+// ParseFaults parses the fault-schedule grammar, e.g.
+// "5s crash server; 20s restart server; 30s loss node0.vmm 0.05".
+func ParseFaults(input string) (FaultSchedule, error) { return faults.Parse(input) }
 
 // BootProfile describes the guest OS boot's disk behaviour.
 type BootProfile = guest.BootProfile

@@ -5,11 +5,20 @@
 // Usage:
 //
 //	bmcast-sim [-image-gb N] [-storage ide|ahci] [-seed S] [-loss P] [-trace]
-//	           [-trace-out FILE] [-metrics]
+//	           [-trace-out FILE] [-metrics] [-secondary N] [-faults SCHEDULE]
 //
 // -trace-out writes a Chrome trace-event JSON file (load it in Perfetto or
 // chrome://tracing) with one span per deployment phase, mediated command,
 // and AoE round trip. -metrics dumps the full instrument registry.
+//
+// -faults takes a deterministic fault schedule, e.g.
+//
+//	bmcast-sim -secondary 1 -faults '5s crash server; 30s loss node0.vmm 0.02'
+//
+// Targets are "server", "server2"… and "node0.guest"/"node0.vmm"; verbs are
+// linkdown, linkup, partition, loss, corrupt, dup, reorder, crash, restart,
+// and mediaerr (see DESIGN.md §8 for the grammar). The same seed and the
+// same schedule replay the run byte-identically.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/guest"
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -32,6 +42,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print VMM trace lines")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file")
 	metricsDump := flag.Bool("metrics", false, "dump the instrument registry after the run")
+	secondary := flag.Int("secondary", 0, "number of secondary storage servers (AoE failover targets)")
+	faultSched := flag.String("faults", "", "deterministic fault schedule, e.g. '5s crash server; 20s restart server'")
 	flag.Parse()
 
 	cfg := testbed.DefaultConfig()
@@ -49,7 +61,22 @@ func main() {
 	}
 
 	tb := testbed.New(cfg)
+	for i := 0; i < *secondary; i++ {
+		tb.AddSecondaryServer(cfg)
+	}
 	node := tb.AddNode(cfg)
+	if *faultSched != "" {
+		sched, err := faults.Parse(*faultSched)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
+			os.Exit(2)
+		}
+		if err := tb.NewFaultInjector().Apply(sched); err != nil {
+			fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("fault schedule: %s\n", sched)
+	}
 	if *trace {
 		tb.K.SetTracer(func(t sim.Time, format string, args ...any) {
 			fmt.Printf("[%v] %s\n", t, fmt.Sprintf(format, args...))
@@ -72,7 +99,11 @@ func main() {
 		fmt.Printf("  firmware init      %10v\n", res.FirmwareDone.Sub(0))
 		fmt.Printf("  vmm network boot   %10v\n", res.VMMBooted.Sub(res.FirmwareDone))
 		fmt.Printf("  guest OS boot      %10v   <- instance usable here\n", res.GuestBooted.Sub(res.VMMBooted))
-		tb.WaitBareMetal(p, node, res)
+		tb.WaitBareMetal(p, node, res) // PhaseFailed wakes this too
+		if node.VMM.Phase() == core.PhaseFailed {
+			fmt.Fprintf(os.Stderr, "deployment failed: %v\n", node.VMM.Err())
+			os.Exit(1)
+		}
 		fmt.Printf("  deployment done    %10v after boot\n", res.Deployed.Sub(res.GuestBooted))
 		fmt.Printf("  de-virtualized     %10v after boot\n", res.BareMetal.Sub(res.GuestBooted))
 
@@ -89,6 +120,7 @@ func main() {
 		fmt.Printf("  moderation suspends    %8d\n", vmm.Suspends.Value())
 		fmt.Printf("  VM exits               %8d\n", node.M.World.TotalExits())
 		fmt.Printf("  AoE retransmits        %8d\n", vmm.Initiator().Retransmits.Value())
+		fmt.Printf("  AoE failovers          %8d\n", vmm.Initiator().Failovers.Value())
 
 		counts, err := tb.VerifyDeployment(node)
 		if err != nil {

@@ -83,6 +83,84 @@ func TestSameSeedSameTrace(t *testing.T) {
 	}
 }
 
+// deployFaultTrace is deployTrace under chaos: a secondary storage
+// server, a scripted fault schedule (primary crash mid-deployment, loss
+// and reordering on the VMM link), and the same canonical trace render.
+func deployFaultTrace(t *testing.T, seed int64) string {
+	t.Helper()
+	cfg := bmcast.DefaultConfig()
+	cfg.Seed = seed
+	cfg.ImageBytes = 64 << 20
+	cfg.DiskSectors = 1 << 20
+	cfg.EnableTrace = true
+	tb := bmcast.NewTestbed(cfg)
+	tb.AddSecondaryServer(cfg)
+	node := tb.AddNode(cfg)
+	node.M.Firmware.InitTime = sim.Second
+
+	sched, err := bmcast.ParseFaults(
+		"1500ms reorder node0.vmm 0.01; 3s crash server; 10s loss node0.vmm 0.02; 20s loss node0.vmm 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.NewFaultInjector().Apply(sched); err != nil {
+		t.Fatal(err)
+	}
+
+	vcfg := bmcast.DefaultVMMConfig()
+	vcfg.WriteInterval = 2 * sim.Millisecond
+	bp := bmcast.DefaultBootProfile()
+	bp.TotalBytes = 8 << 20
+	bp.CPUTime = 2 * sim.Second
+	bp.SpanSectors = cfg.ImageBytes / 2 / 512
+
+	var res *bmcast.BMcastResult
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		r, err := tb.DeployBMcast(p, node, vcfg, bp)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = r
+		tb.WaitBareMetal(p, node, res)
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if res == nil {
+		t.Fatal("deployment did not complete under faults")
+	}
+	if node.VMM.Initiator().Failovers.Value() == 0 {
+		t.Fatal("fault schedule did not force a failover; chaos check is vacuous")
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "firmware=%d vmm=%d guest=%d deployed=%d baremetal=%d\n",
+		res.FirmwareDone, res.VMMBooted, res.GuestBooted, res.Deployed, res.BareMetal)
+	for _, s := range res.Trace.Spans() {
+		fmt.Fprintf(&b, "span %s/%s/%s %d..%d open=%v\n", s.Node, s.Cat, s.Name, s.Start, s.Stop, s.Open)
+	}
+	for _, e := range res.Trace.Events() {
+		fmt.Fprintf(&b, "event %s/%s/%s @%d\n", e.Node, e.Cat, e.Name, e.Time)
+	}
+	return b.String()
+}
+
+// TestSameSeedSameTraceUnderFaults extends the determinism invariant to
+// the fault machinery: the same seed and the same fault schedule must
+// replay byte-identically — crashes, failovers, and lossy links included.
+func TestSameSeedSameTraceUnderFaults(t *testing.T) {
+	a := deployFaultTrace(t, 7)
+	b := deployFaultTrace(t, 7)
+	if a != b {
+		t.Fatalf("same seed + same schedule produced different traces:\nfirst run:\n%s\nsecond run:\n%s", a, b)
+	}
+	if !strings.Contains(a, "event faults/faults/crash") {
+		t.Fatalf("trace recorded no injected crash; chaos determinism check is vacuous:\n%s", a)
+	}
+	if !strings.Contains(a, "aoe/failover") {
+		t.Fatalf("trace recorded no failover event:\n%s", a)
+	}
+}
+
 // TestBootTraceRandInjection pins the seededrand migration contract on
 // the boot-trace generator: Trace() is exactly TraceRand with a stream
 // seeded from the profile's own Seed, and an injected stream derived from

@@ -20,6 +20,13 @@ type Transport interface {
 	TryRecv() (*ethernet.Frame, bool)
 }
 
+// TargetAddr names one AoE target: a server MAC plus shelf/slot address.
+type TargetAddr struct {
+	Server ethernet.MAC
+	Major  uint16
+	Minor  uint8
+}
+
 // Initiator is the client side of the extended AoE protocol: it converts
 // sector ranges into per-fragment requests, reassembles responses, and
 // retransmits fragments lost on the wire. BMcast's VMM embeds one; the
@@ -30,6 +37,12 @@ type Initiator struct {
 	Server ethernet.MAC
 	Major  uint16
 	Minor  uint8
+
+	// targets is the failover list; targets[cur] mirrors Server/Major/Minor.
+	// When a request exhausts MaxRetries (or the target answers with an
+	// error) the initiator rotates to the next entry instead of failing.
+	targets []TargetAddr
+	cur     int
 
 	perFrame int64
 	nextReq  uint32
@@ -53,6 +66,7 @@ type Initiator struct {
 	FragmentsSent  metrics.Counter
 	FragmentsRecvd metrics.Counter
 	Retransmits    metrics.Counter
+	Failovers      metrics.Counter
 	BytesRead      metrics.Counter
 	BytesWritten   metrics.Counter
 
@@ -71,6 +85,7 @@ func (in *Initiator) Instrument(reg *metrics.Registry, tr *trace.Recorder, node 
 	reg.RegisterCounter("aoe.fragments_sent", &in.FragmentsSent, l)
 	reg.RegisterCounter("aoe.fragments_recvd", &in.FragmentsRecvd, l)
 	reg.RegisterCounter("aoe.retransmits", &in.Retransmits, l)
+	reg.RegisterCounter("aoe.failovers", &in.Failovers, l)
 	reg.RegisterCounter("aoe.bytes_read", &in.BytesRead, l)
 	reg.RegisterCounter("aoe.bytes_written", &in.BytesWritten, l)
 }
@@ -86,6 +101,7 @@ type pendingReq struct {
 	progress   *sim.Signal
 	err        error
 	sentAt     []sim.Time
+	cycled     int // failovers consumed by this request (≤ len(targets)-1)
 }
 
 // newReq takes a request record from the pool (or allocates one) and sizes
@@ -97,6 +113,7 @@ func (in *Initiator) newReq(frags int) *pendingReq {
 		in.reqPool = in.reqPool[:n]
 		pr.frags = frags
 		pr.gotCount = 0
+		pr.cycled = 0
 		pr.write, pr.src, pr.err = false, nil, nil
 		pr.got = resetSlice(pr.got, frags)
 		pr.parts = resetSlice(pr.parts, frags)
@@ -147,6 +164,7 @@ func NewInitiator(k *sim.Kernel, n Transport, server ethernet.MAC, major uint16,
 		Server:     server,
 		Major:      major,
 		Minor:      minor,
+		targets:    []TargetAddr{{Server: server, Major: major, Minor: minor}},
 		perFrame:   SectorsPerFrame(n.MTU()),
 		pending:    make(map[uint32]*pendingReq),
 		rtt:        2 * sim.Millisecond, // conservative initial estimate
@@ -154,6 +172,33 @@ func NewInitiator(k *sim.Kernel, n Transport, server ethernet.MAC, major uint16,
 	}
 	n.SetOnReceive(in.handleFrame)
 	return in
+}
+
+// AddTarget appends a secondary target to the failover list. The initiator
+// stays on its current target until a request exhausts MaxRetries (or the
+// target answers with an error), then rotates; once failed over, later
+// requests go straight to the live target.
+func (in *Initiator) AddTarget(server ethernet.MAC, major uint16, minor uint8) {
+	in.targets = append(in.targets, TargetAddr{Server: server, Major: major, Minor: minor})
+}
+
+// Targets returns the configured target list (primary first).
+func (in *Initiator) Targets() []TargetAddr { return in.targets }
+
+// failover rotates to the next target if this request has not already tried
+// every one, rewriting the address used by subsequent sends. Reports whether
+// a switch happened.
+func (in *Initiator) failover(pr *pendingReq) bool {
+	if len(in.targets) < 2 || pr.cycled >= len(in.targets)-1 {
+		return false
+	}
+	pr.cycled++
+	in.cur = (in.cur + 1) % len(in.targets)
+	t := in.targets[in.cur]
+	in.Server, in.Major, in.Minor = t.Server, t.Major, t.Minor
+	in.Failovers.Inc()
+	in.tr.Emit(in.node, "aoe", "failover", trace.Str("server", t.Server.String()))
+	return true
 }
 
 // SetPolled switches the initiator to the VMM's polled receive mode: the
@@ -280,7 +325,22 @@ func (in *Initiator) run(p *sim.Proc, pr *pendingReq) error {
 		in.sendFragment(pr, reqID, f)
 	}
 	retries := 0
-	for pr.gotCount < pr.frags && pr.err == nil {
+	for pr.gotCount < pr.frags {
+		if in.closed {
+			return fmt.Errorf("aoe: initiator closed with request %d incomplete (%d/%d fragments)",
+				reqID, pr.gotCount, pr.frags)
+		}
+		if pr.err != nil {
+			// The target answered with an error status. With a secondary
+			// configured, rotate to it and retry; otherwise fail the request.
+			if !in.failover(pr) {
+				return pr.err
+			}
+			pr.err = nil
+			retries = 0
+			in.retransmitMissing(pr, reqID)
+			continue
+		}
 		// Wait for progress; time out after 4×RTT of silence, doubling
 		// per retry round (exponential backoff keeps a loaded server
 		// from melting down under retransmit storms).
@@ -291,22 +351,39 @@ func (in *Initiator) run(p *sim.Proc, pr *pendingReq) error {
 		if max := 2 * sim.Second; rto > max {
 			rto = max
 		}
+		before := pr.gotCount
 		if p.WaitTimeout(pr.progress, rto) {
+			if pr.gotCount > before {
+				// Forward progress: the path is live again, so stop
+				// escalating — otherwise one early loss burst pins every
+				// later timeout in this request at the cap.
+				retries = 0
+			}
 			continue // a fragment (or an error) arrived
 		}
 		retries++
 		if retries > in.MaxRetries {
-			return fmt.Errorf("aoe: request %d timed out after %d retries (%d/%d fragments)",
-				reqID, in.MaxRetries, pr.gotCount, pr.frags)
-		}
-		for f := 0; f < pr.frags; f++ {
-			if !pr.got[f] {
-				in.Retransmits.Inc()
-				in.sendFragment(pr, reqID, f)
+			// The current target is unreachable. Fail over if a fresh
+			// target remains; otherwise surface the timeout.
+			if !in.failover(pr) {
+				return fmt.Errorf("aoe: request %d timed out after %d retries (%d/%d fragments)",
+					reqID, in.MaxRetries, pr.gotCount, pr.frags)
 			}
+			retries = 0
+		}
+		in.retransmitMissing(pr, reqID)
+	}
+	return nil
+}
+
+// retransmitMissing resends every fragment not yet acknowledged.
+func (in *Initiator) retransmitMissing(pr *pendingReq, reqID uint32) {
+	for f := 0; f < pr.frags; f++ {
+		if !pr.got[f] {
+			in.Retransmits.Inc()
+			in.sendFragment(pr, reqID, f)
 		}
 	}
-	return pr.err
 }
 
 // Read fetches count sectors at lba from the target, blocking the process.

@@ -64,6 +64,14 @@ type Instance struct {
 	state   InstanceState
 	changed *sim.Signal
 	err     error
+	// reclaimed means the controller already scrubbed the machine and
+	// returned it to the pool (pre-ready failures); Release must not
+	// return it a second time.
+	reclaimed bool
+
+	// Redeploys counts how many times this lease was restarted on a fresh
+	// machine after a failed deployment attempt.
+	Redeploys int
 
 	RequestedAt sim.Time
 	ReadyAt     sim.Time
@@ -98,12 +106,17 @@ type Controller struct {
 	// Remote backs the image-copy and netboot strategies.
 	Remote *baseline.RemoteStore
 
+	// RedeployRetries caps how many times a failed BMcast deployment is
+	// retried on a fresh machine before the instance is marked failed.
+	RedeployRetries int
+
 	free      []*testbed.Node
 	instances []*Instance
 
 	Requested  metrics.Counter
 	Ready      metrics.Counter
 	Failures   metrics.Counter
+	Redeploys  metrics.Counter
 	TimeToUse  metrics.Histogram
 	nextID     int
 	poolEmpty  int64
@@ -113,12 +126,13 @@ type Controller struct {
 // NewController racks poolSize machines into tb.
 func NewController(tb *testbed.Testbed, tcfg testbed.Config, poolSize int) *Controller {
 	c := &Controller{
-		tb:          tb,
-		tcfg:        tcfg,
-		VMMConfig:   core.DefaultConfig(),
-		BootProfile: guest.DefaultBootProfile(),
-		Remote:      baseline.NewRemoteStore(tb.K, "cloud-store", baseline.ISCSI, tb.Image),
-		freeSignal:  tb.K.NewSignal("cloud.free"),
+		tb:              tb,
+		tcfg:            tcfg,
+		VMMConfig:       core.DefaultConfig(),
+		BootProfile:     guest.DefaultBootProfile(),
+		Remote:          baseline.NewRemoteStore(tb.K, "cloud-store", baseline.ISCSI, tb.Image),
+		RedeployRetries: 1,
+		freeSignal:      tb.K.NewSignal("cloud.free"),
 	}
 	c.BootProfile.SpanSectors = tcfg.ImageBytes / 2 / disk.SectorSize
 	for i := 0; i < poolSize; i++ {
@@ -141,12 +155,10 @@ func (c *Controller) Instances() []*Instance {
 // It returns immediately; use WaitReady on the instance. It fails fast
 // when the pool is empty.
 func (c *Controller) Request(strategy Strategy) (*Instance, error) {
-	if len(c.free) == 0 {
-		c.poolEmpty++
-		return nil, fmt.Errorf("cloud: machine pool exhausted")
+	node, err := c.lease()
+	if err != nil {
+		return nil, err
 	}
-	node := c.free[0]
-	c.free = c.free[1:]
 	in := &Instance{
 		ID:          c.nextID,
 		Strategy:    strategy,
@@ -162,22 +174,25 @@ func (c *Controller) Request(strategy Strategy) (*Instance, error) {
 	return in, nil
 }
 
+// lease pops a free machine, failing fast when the pool is empty.
+func (c *Controller) lease() (*testbed.Node, error) {
+	if len(c.free) == 0 {
+		c.poolEmpty++
+		return nil, fmt.Errorf("cloud: machine pool exhausted")
+	}
+	node := c.free[0]
+	c.free = c.free[1:]
+	return node, nil
+}
+
 func (c *Controller) deploy(p *sim.Proc, in *Instance) {
 	in.state = StateDeploying
 	in.changed.Broadcast()
 	var err error
 	switch in.Strategy {
 	case StrategyBMcast:
-		var res *testbed.BMcastResult
-		res, err = c.tb.DeployBMcast(p, in.Node, c.VMMConfig, c.BootProfile)
-		if err == nil {
-			c.markReady(p, in)
-			// The instance is already leased out; the copy finishes in
-			// the background and the VMM melts away.
-			c.tb.WaitBareMetal(p, in.Node, res)
-			in.BareMetalAt = p.Now()
-			return
-		}
+		c.deployBMcast(p, in)
+		return
 	case StrategyImageCopy:
 		_, err = baseline.DeployImageCopy(p, in.Node.M, in.Node.OS,
 			baseline.DefaultImageCopyConfig(), c.Remote, c.BootProfile)
@@ -192,6 +207,78 @@ func (c *Controller) deploy(p *sim.Proc, in *Instance) {
 			return
 		}
 	}
+	c.fail(in, err)
+}
+
+// deployBMcast runs the BMcast strategy with the capped-retry redeploy
+// policy: an attempt that fails before the instance is handed over has
+// its machine scrubbed and returned to the pool, and the lease restarts
+// on a fresh machine, up to RedeployRetries times. A failure after
+// hand-over (the watchdog firing while the tenant already has the
+// machine) only marks the instance failed; the tenant keeps the machine
+// until Release.
+func (c *Controller) deployBMcast(p *sim.Proc, in *Instance) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var res *testbed.BMcastResult
+		res, err = c.tb.DeployBMcast(p, in.Node, c.VMMConfig, c.BootProfile)
+		if err == nil && in.Node.VMM.Phase() == core.PhaseFailed {
+			// The guest "booted" against a dead stream (the mediator
+			// tolerates fetch errors); the watchdog is the authority.
+			err = in.Node.VMM.Err()
+		}
+		if err == nil {
+			c.markReady(p, in)
+			// The instance is already leased out; the copy finishes in
+			// the background and the VMM melts away.
+			c.tb.WaitBareMetal(p, in.Node, res) // PhaseFailed wakes this too
+			if in.Node.VMM.Phase() == core.PhaseFailed {
+				c.fail(in, in.Node.VMM.Err())
+				return
+			}
+			in.BareMetalAt = p.Now()
+			return
+		}
+		// Pre-ready failure: scrub the machine and return it to the pool.
+		c.reclaim(p, in.Node)
+		if attempt >= c.RedeployRetries {
+			in.reclaimed = true
+			c.fail(in, fmt.Errorf("cloud: instance %d failed after %d deployment attempts: %w",
+				in.ID, attempt+1, err))
+			return
+		}
+		node, lerr := c.lease()
+		if lerr != nil {
+			in.reclaimed = true
+			c.fail(in, fmt.Errorf("cloud: instance %d redeploy: %w", in.ID, lerr))
+			return
+		}
+		in.Node = node
+		in.Redeploys++
+		c.Redeploys.Inc()
+	}
+}
+
+// reclaim sanitizes a machine whose deployment failed and returns it to
+// the free pool.
+func (c *Controller) reclaim(p *sim.Proc, n *testbed.Node) {
+	if n.VMM != nil {
+		n.VMM.Scrub(p) // drain mediation, detach taps, leave virtualization
+	}
+	c.scrub(n)
+	c.free = append(c.free, n)
+	c.freeSignal.Broadcast()
+}
+
+// scrub sanitizes a machine between leases: blocks return to zero (as a
+// provider would wipe between tenants), no VMM, a fresh guest OS.
+func (c *Controller) scrub(n *testbed.Node) {
+	n.M.Disk.Store().Write(0, n.M.Disk.Sectors, disk.Zero)
+	n.VMM = nil
+	n.OS = guest.NewOS("ubuntu", n.M)
+}
+
+func (c *Controller) fail(in *Instance, err error) {
 	in.err = err
 	in.state = StateFailed
 	c.Failures.Inc()
@@ -208,17 +295,29 @@ func (c *Controller) markReady(p *sim.Proc, in *Instance) {
 
 // Release ends a lease: the disk is wiped (a fresh zero store, as a
 // provider would sanitize between tenants) and the machine returns to the
-// pool.
+// pool. Failed instances may be released too; if the controller already
+// reclaimed the machine (pre-ready failure), releasing is a no-op beyond
+// the state change, and for a post-ready failure the sanitization runs
+// asynchronously (the dead VMM must first drain and detach).
 func (c *Controller) Release(in *Instance) error {
-	if in.state != StateReady {
-		return fmt.Errorf("cloud: instance %d is %v, not ready", in.ID, in.state)
+	if in.state != StateReady && in.state != StateFailed {
+		return fmt.Errorf("cloud: instance %d is %v, not releasable", in.ID, in.state)
 	}
+	wasFailed := in.state == StateFailed
 	in.state = StateReleased
 	in.changed.Broadcast()
-	// Sanitize: all blocks return to zero; a future lease re-deploys.
-	in.Node.M.Disk.Store().Write(0, in.Node.M.Disk.Sectors, disk.Zero)
-	in.Node.VMM = nil
-	in.Node.OS = guest.NewOS("ubuntu", in.Node.M)
+	if in.reclaimed {
+		return nil // machine already scrubbed and pooled
+	}
+	if wasFailed {
+		node := in.Node
+		in.reclaimed = true
+		c.tb.K.Spawn(fmt.Sprintf("cloud.reclaim.%d", in.ID), func(p *sim.Proc) {
+			c.reclaim(p, node)
+		})
+		return nil
+	}
+	c.scrub(in.Node)
 	c.free = append(c.free, in.Node)
 	c.freeSignal.Broadcast()
 	return nil

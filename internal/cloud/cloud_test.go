@@ -1,6 +1,7 @@
 package cloud_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/cloud"
@@ -113,6 +114,91 @@ func TestReleaseRequiresReady(t *testing.T) {
 		in.WaitReady(p)
 	})
 	tb.K.RunUntil(sim.Time(sim.Hour))
+}
+
+// TestDeadServerFailsInstanceAndReclaimsMachine is the no-recovery
+// acceptance scenario: with a dead storage server and no secondary, the
+// watchdog fails every deployment attempt, the instance ends up
+// StateFailed with a descriptive error, and the machine — scrubbed — is
+// back in the free pool.
+func TestDeadServerFailsInstanceAndReclaimsMachine(t *testing.T) {
+	tb, c := testController(1)
+	c.VMMConfig.StallTimeout = 2 * sim.Second
+	c.RedeployRetries = 1
+	tb.Server.Crash() // dead before the first request
+	var in *cloud.Instance
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		var err error
+		in, err = c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if in.WaitReady(p) {
+			t.Error("instance became ready against a dead server")
+		}
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if in == nil {
+		t.Fatal("request never ran")
+	}
+	if got := in.State(); got != cloud.StateFailed {
+		t.Fatalf("state = %v, want failed", got)
+	}
+	err := in.Err()
+	if err == nil || !strings.Contains(err.Error(), "deployment attempts") {
+		t.Fatalf("error not descriptive: %v", err)
+	}
+	if in.Redeploys != 1 || c.Redeploys.Value() != 1 {
+		t.Fatalf("redeploys: instance=%d counter=%d, want 1/1", in.Redeploys, c.Redeploys.Value())
+	}
+	if c.Failures.Value() != 1 {
+		t.Fatalf("Failures = %d, want 1", c.Failures.Value())
+	}
+	if c.FreeMachines() != 1 {
+		t.Fatalf("machine not returned to pool: free = %d", c.FreeMachines())
+	}
+	n := tb.Nodes[0]
+	if got := n.M.Disk.Store().CountBySource()["zero"]; got != n.M.Disk.Sectors {
+		t.Fatalf("reclaimed machine not sanitized: %d of %d sectors zero", got, n.M.Disk.Sectors)
+	}
+	// Releasing the failed instance is allowed and must not re-pool the
+	// already-reclaimed machine.
+	if err := c.Release(in); err != nil {
+		t.Fatal(err)
+	}
+	if in.State() != cloud.StateReleased || c.FreeMachines() != 1 {
+		t.Fatalf("release of reclaimed instance: state=%v free=%d", in.State(), c.FreeMachines())
+	}
+}
+
+// TestRedeployRecoversAfterServerRestart: the capped-retry policy turns a
+// transient server outage into a late — but successful — lease.
+func TestRedeployRecoversAfterServerRestart(t *testing.T) {
+	tb, c := testController(2)
+	c.VMMConfig.StallTimeout = 2 * sim.Second
+	c.RedeployRetries = 3
+	tb.Server.Crash()
+	tb.K.After(20*sim.Second, tb.Server.Restart)
+	var in *cloud.Instance
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		var err error
+		in, err = c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !in.WaitReady(p) {
+			t.Errorf("instance failed despite retries: %v", in.Err())
+		}
+	})
+	tb.K.RunUntil(sim.Time(2 * sim.Hour))
+	if in == nil || in.State() != cloud.StateReady {
+		t.Fatalf("instance not ready")
+	}
+	if in.Redeploys == 0 {
+		t.Fatal("lease succeeded without redeploying; outage scenario did not run")
+	}
 }
 
 // TestScaleUpBMcastVsImageCopy is the elasticity claim (§5.1): starting

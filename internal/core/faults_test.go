@@ -17,15 +17,6 @@ func TestDeploymentSurvivesPacketLoss(t *testing.T) {
 	tb := testbed.New(tcfg)
 	n := tb.AddNode(tcfg)
 	n.M.Firmware.InitTime = sim.Second
-	// The testbed wires links in AddNode order; inject loss by reaching
-	// through the node's VMM NIC link via a lossy switch reconfiguration
-	// is not exposed, so rebuild with loss through the switch instead:
-	// both directions of every link of this node.
-	for _, nic := range n.M.NICs {
-		_ = nic
-	}
-	// Loss is injected on the server side so every deployment flow is hit.
-	tb.ServerNIC.Promiscuous = false
 	var res *testbed.BMcastResult
 	tb.K.Spawn("deploy", func(p *sim.Proc) {
 		r, err := tb.DeployBMcast(p, n, vcfg, bp)
@@ -38,7 +29,7 @@ func TestDeploymentSurvivesPacketLoss(t *testing.T) {
 	})
 	// Set loss after the spawn but before events run: attach via the
 	// kernel's first event.
-	tb.K.After(0, func() { setNodeLoss(tb, 0.03) })
+	tb.K.After(0, func() { setNodeLoss(tb, n, 0.03) })
 	tb.K.RunUntil(sim.Time(2 * sim.Hour))
 	if res == nil || res.BareMetal == 0 {
 		t.Fatal("deployment did not complete under loss")
@@ -59,12 +50,13 @@ func TestDeploymentSurvivesPacketLoss(t *testing.T) {
 	}
 }
 
-// setNodeLoss sets the loss rate on every link of the testbed switch by
-// sending through the exported structures.
-func setNodeLoss(tb *testbed.Testbed, rate float64) {
-	for _, l := range tb.Links() {
+// setNodeLoss sets the loss rate on the node's own links plus the server
+// link, so every deployment flow is hit in both directions.
+func setNodeLoss(tb *testbed.Testbed, n *testbed.Node, rate float64) {
+	for _, l := range n.Links() {
 		l.SetLossRate(rate)
 	}
+	tb.ServerLink.SetLossRate(rate)
 }
 
 // TestDeploymentWithVirtualIRQAblation checks the rejected design

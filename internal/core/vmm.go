@@ -18,12 +18,16 @@ import (
 // Phase is the deployment lifecycle state (paper §3.1, Figure 1).
 type Phase int
 
-// The four phases of the BMcast deployment process.
+// The four phases of the BMcast deployment process, plus the terminal
+// failure state a hung deployment is forced into by the watchdog.
+// PhaseFailed sorts after PhaseBareMetal so WaitPhase(PhaseBareMetal)
+// wakes on failure too instead of blocking forever.
 const (
 	PhaseInitialization Phase = iota
 	PhaseDeployment
 	PhaseDevirtualization
 	PhaseBareMetal
+	PhaseFailed
 )
 
 func (p Phase) String() string {
@@ -34,6 +38,8 @@ func (p Phase) String() string {
 		return "deployment"
 	case PhaseDevirtualization:
 		return "de-virtualization"
+	case PhaseFailed:
+		return "failed"
 	default:
 		return "bare-metal"
 	}
@@ -50,6 +56,8 @@ func (p Phase) SpanName() string {
 		return "Deployment"
 	case PhaseDevirtualization:
 		return "Devirtualization"
+	case PhaseFailed:
+		return "Failed"
 	default:
 		return "BareMetal"
 	}
@@ -97,6 +105,17 @@ type Config struct {
 	// VirtualIRQ switches the mediators to the rejected
 	// interrupt-injection design, for the ablation benchmark.
 	VirtualIRQ bool
+
+	// StallTimeout arms the deployment watchdog: if streaming progress
+	// (fetched bytes, copied bytes, or guest I/O) stays flat for this long
+	// during the deployment phase, the VMM transitions to PhaseFailed
+	// instead of wedging the retriever forever. Zero disables the stall
+	// detector.
+	StallTimeout sim.Duration
+	// DeployDeadline bounds the whole deployment phase; exceeding it fails
+	// the deployment even if slow progress is still trickling in. Zero
+	// disables the deadline.
+	DeployDeadline sim.Duration
 }
 
 // DefaultConfig returns the prototype's calibrated configuration.
@@ -115,6 +134,7 @@ func DefaultConfig() Config {
 		DeployMemPenalty:     0.06,
 		CoreTax:              0.01,
 		DeployJitter:         300 * sim.Nanosecond,
+		StallTimeout:         2 * sim.Minute,
 	}
 }
 
@@ -150,6 +170,7 @@ type VMM struct {
 	inflight map[int64]int64
 
 	stopped bool
+	err     error // terminal failure cause once PhaseFailed is reached
 
 	// Timings and counters.
 	BootedAt     sim.Time
@@ -166,6 +187,7 @@ type VMM struct {
 	BitmapHits    metrics.Counter
 	BitmapMisses  metrics.Counter
 	CopyConflicts metrics.Counter
+	WatchdogFires metrics.Counter
 
 	// phaseSpan is the open span of the current lifecycle phase (category
 	// "phase" on the machine's trace recorder; nil recorder: nil spans).
@@ -198,6 +220,7 @@ func Boot(p *sim.Proc, m *machine.Machine, cfg Config, vmmNIC int, serverMAC eth
 	m.Metrics.RegisterCounter("vmm.bitmap_hits", &v.BitmapHits, l)
 	m.Metrics.RegisterCounter("vmm.bitmap_misses", &v.BitmapMisses, l)
 	m.Metrics.RegisterCounter("vmm.copy_conflicts", &v.CopyConflicts, l)
+	m.Metrics.RegisterCounter("vmm.watchdog_fires", &v.WatchdogFires, l)
 	m.World.Instrument(m.Metrics, m.Trace, m.Name)
 
 	// Initialization phase: minimal VMM boot — only the dedicated NIC is
@@ -239,11 +262,77 @@ func Boot(p *sim.Proc, m *machine.Machine, cfg Config, vmmNIC int, serverMAC eth
 
 	m.K.Spawn(m.Name+".vmm.retriever", v.retriever)
 	m.K.Spawn(m.Name+".vmm.writer", v.writer)
+	if cfg.StallTimeout > 0 || cfg.DeployDeadline > 0 {
+		m.K.Spawn(m.Name+".vmm.watchdog", v.watchdog)
+	}
 	return v, nil
 }
 
 // Phase reports the current lifecycle phase.
 func (v *VMM) Phase() Phase { return v.phase }
+
+// Err reports the terminal failure cause once the VMM has reached
+// PhaseFailed, and nil otherwise.
+func (v *VMM) Err() error { return v.err }
+
+// progressSignature condenses the streaming state the watchdog monitors:
+// any fetch, background copy, or guest I/O counts as forward progress
+// (guest I/O included so moderation suspends under an active guest don't
+// read as a stall).
+func (v *VMM) progressSignature() int64 {
+	return v.FetchedBytes.Value() + v.CopiedBytes.Value() + v.GuestIOs.Value()
+}
+
+// watchdog guards the deployment phase against silent wedges: a dead AoE
+// server with no secondary, a partitioned link, a retriever stuck in
+// retry loops. On a stall (no progress for StallTimeout) or a blown
+// DeployDeadline it forces the VMM into PhaseFailed with a wrapped error
+// instead of letting the deployment hang forever.
+func (v *VMM) watchdog(p *sim.Proc) {
+	start := p.Now()
+	tick := v.Cfg.StallTimeout / 4
+	if tick <= 0 {
+		tick = v.Cfg.DeployDeadline / 8
+	}
+	lastSig := v.progressSignature()
+	lastProgress := p.Now()
+	for {
+		p.Sleep(tick)
+		if v.phase != PhaseDeployment || v.stopped {
+			return
+		}
+		if sig := v.progressSignature(); sig != lastSig {
+			lastSig = sig
+			lastProgress = p.Now()
+		} else if v.Cfg.StallTimeout > 0 && p.Now().Sub(lastProgress) >= v.Cfg.StallTimeout {
+			v.fail(fmt.Errorf("no streaming progress for %v", v.Cfg.StallTimeout))
+			return
+		}
+		if v.Cfg.DeployDeadline > 0 && p.Now().Sub(start) >= v.Cfg.DeployDeadline {
+			v.fail(fmt.Errorf("deployment deadline %v exceeded", v.Cfg.DeployDeadline))
+			return
+		}
+	}
+}
+
+// fail transitions a deployment-phase VMM into the terminal PhaseFailed:
+// the copy pipeline is shut down, the initiator closed so pending requests
+// error out fast, and the cause preserved for the controller. The mediator
+// stays attached — the machine needs a scrub/power-cycle anyway.
+func (v *VMM) fail(cause error) {
+	if v.phase != PhaseDeployment || v.stopped {
+		return
+	}
+	v.err = fmt.Errorf("core: deployment failed: %w", cause)
+	v.stopped = true
+	v.WatchdogFires.Inc()
+	v.M.Trace.Emit(v.M.Name, "vmm", "watchdog", trace.Str("cause", cause.Error()))
+	if !v.fifo.Closed() {
+		v.fifo.Close()
+	}
+	v.init.Close()
+	v.setPhase(PhaseFailed)
+}
 
 func (v *VMM) setPhase(ph Phase) {
 	v.phase = ph
@@ -439,11 +528,16 @@ func (v *VMM) retriever(p *sim.Proc) {
 			p.Sleep(100 * sim.Millisecond) // back off and retry
 			continue
 		}
+		if v.stopped || v.phase != PhaseDeployment {
+			break // the watchdog closed the FIFO while we were fetching
+		}
 		v.M.World.RecordVMMWork(v.Cfg.CopyCPUPerBlock / 2)
 		v.inflight[pl.LBA] = pl.Count
 		v.fifo.Push(pl)
 	}
-	v.fifo.Close()
+	if !v.fifo.Closed() {
+		v.fifo.Close()
+	}
 }
 
 // nextCopyRun finds the next unfilled run not already fetched into the
@@ -551,6 +645,21 @@ func (v *VMM) Devirtualize(p *sim.Proc) {
 	v.M.World.Overheads = cpuvirt.Overheads{} // zero overhead from here on
 	v.DevirtedAt = p.Now()
 	v.setPhase(PhaseBareMetal)
+}
+
+// Scrub tears a failed VMM off its machine so the controller can sanitize
+// and re-lease it: wait for in-flight mediated commands to drain, remove
+// the taps, and leave virtualization. Only meaningful in PhaseFailed.
+func (v *VMM) Scrub(p *sim.Proc) {
+	if v.phase != PhaseFailed {
+		return
+	}
+	for !v.med.Quiesced() {
+		p.Sleep(v.PollInterval())
+	}
+	v.med.Detach()
+	v.M.World.Devirtualize(p)
+	v.M.World.Overheads = cpuvirt.Overheads{}
 }
 
 // Shutdown stops a deployment in progress for a machine power-off: the

@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// TestFailoverToSecondaryMidDeployment is the headline recovery scenario:
+// the AoE server crashes at ~50% streamed and the deployment completes via
+// failover to a secondary vblade, byte-exact.
+func TestFailoverToSecondaryMidDeployment(t *testing.T) {
+	tcfg, vcfg, bp := smallConfig(machine.StorageAHCI)
+	tb := testbed.New(tcfg)
+	tb.AddSecondaryServer(tcfg)
+	n := tb.AddNode(tcfg)
+	n.M.Firmware.InitTime = sim.Second
+
+	// Crash the primary once roughly half the image has been fetched.
+	half := tcfg.ImageBytes / 2
+	var crashProc func(p *sim.Proc)
+	crashProc = func(p *sim.Proc) {
+		for !tb.Server.Crashed() {
+			if n.VMM != nil && n.VMM.FetchedBytes.Value() >= half {
+				tb.Server.Crash()
+				return
+			}
+			p.Sleep(10 * sim.Millisecond)
+		}
+	}
+	tb.K.Spawn("chaos", crashProc)
+
+	var res *testbed.BMcastResult
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		r, err := tb.DeployBMcast(p, n, vcfg, bp)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = r
+		tb.WaitBareMetal(p, n, res)
+	})
+	tb.K.RunUntil(sim.Time(2 * sim.Hour))
+	if res == nil || res.BareMetal == 0 {
+		t.Fatalf("deployment did not complete after failover (phase=%v)", n.VMM.Phase())
+	}
+	if !tb.Server.Crashed() {
+		t.Fatal("primary was never crashed; scenario did not run")
+	}
+	if n.VMM.Initiator().Failovers.Value() == 0 {
+		t.Fatal("no failover recorded")
+	}
+	if _, err := tb.VerifyDeployment(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchdogFailsHungDeployment: a dead server and no secondary must not
+// wedge the deployment forever — the stall detector forces PhaseFailed
+// with a descriptive error.
+func TestWatchdogFailsHungDeployment(t *testing.T) {
+	tcfg, vcfg, bp := smallConfig(machine.StorageAHCI)
+	vcfg.StallTimeout = 2 * sim.Second
+	tb := testbed.New(tcfg)
+	n := tb.AddNode(tcfg)
+	n.M.Firmware.InitTime = sim.Second
+	tb.Server.Crash() // dead before the deployment starts
+
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		res, err := tb.DeployBMcast(p, n, vcfg, bp)
+		if err != nil {
+			return // a failed guest boot is acceptable here
+		}
+		tb.WaitBareMetal(p, n, res) // PhaseFailed wakes this too
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if n.VMM == nil {
+		t.Fatal("VMM never booted")
+	}
+	if got := n.VMM.Phase(); got != core.PhaseFailed {
+		t.Fatalf("phase = %v, want failed", got)
+	}
+	err := n.VMM.Err()
+	if err == nil {
+		t.Fatal("PhaseFailed with nil Err")
+	}
+	if !strings.Contains(err.Error(), "deployment failed") ||
+		!strings.Contains(err.Error(), "progress") {
+		t.Fatalf("error not descriptive: %v", err)
+	}
+	if n.VMM.WatchdogFires.Value() != 1 {
+		t.Fatalf("WatchdogFires = %d, want 1", n.VMM.WatchdogFires.Value())
+	}
+}
+
+// TestDeployDeadline bounds the whole deployment even when progress is
+// still trickling in.
+func TestDeployDeadline(t *testing.T) {
+	tcfg, vcfg, bp := smallConfig(machine.StorageAHCI)
+	vcfg.StallTimeout = 0
+	vcfg.WriteInterval = 50 * sim.Millisecond // 64 blocks: ≥3.2s of writing
+	vcfg.DeployDeadline = 2 * sim.Second
+	tb := testbed.New(tcfg)
+	n := tb.AddNode(tcfg)
+	n.M.Firmware.InitTime = sim.Second
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		res, err := tb.DeployBMcast(p, n, vcfg, bp)
+		if err != nil {
+			return
+		}
+		tb.WaitBareMetal(p, n, res)
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if got := n.VMM.Phase(); got != core.PhaseFailed {
+		t.Fatalf("phase = %v, want failed", got)
+	}
+	if err := n.VMM.Err(); err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("error should name the deadline: %v", err)
+	}
+}

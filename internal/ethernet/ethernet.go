@@ -62,22 +62,49 @@ func TenGigabitJumbo() LinkParams {
 	return LinkParams{Bandwidth: 10e9, Propagation: 2 * sim.Microsecond, MTU: 9018}
 }
 
+// FaultParams are the injectable impairments of one link direction beyond
+// the base LossRate: carrier loss and probabilistic frame corruption,
+// duplication, and reordering. All randomness draws from the kernel's
+// seeded source, so the same seed and fault schedule replay identically.
+type FaultParams struct {
+	// Down models carrier loss: every frame is dropped at the transmitter.
+	Down bool
+	// CorruptRate is the fraction of frames whose FCS check fails at the
+	// receiving end: the frame consumes full wire time but is discarded on
+	// arrival (unlike LossRate, which drops at the transmitter).
+	CorruptRate float64
+	// DuplicateRate is the fraction of frames delivered twice (the second
+	// copy one propagation delay later), exercising receiver dedup.
+	DuplicateRate float64
+	// ReorderRate is the fraction of frames held back by a random multiple
+	// of their own serialization time, so back-to-back frames overtake them.
+	ReorderRate float64
+}
+
 // direction models one direction of a link: a serializing transmitter.
 type direction struct {
 	k         *sim.Kernel
 	p         LinkParams
+	f         FaultParams
 	busyUntil sim.Time
 	dropped   metrics.Counter
 	delivered metrics.Counter
 	bytes     metrics.Counter // bytes serialized (delivered frames only)
+	corrupted metrics.Counter // frames discarded by the receiver FCS check
+	dups      metrics.Counter // frames delivered twice
+	reordered metrics.Counter // frames held back past their slot
 }
 
 // transmit schedules delivery of f to port after serialization and
-// propagation, honoring MTU and loss rate. It reports the time the frame
-// finishes serializing (even if lost).
+// propagation, honoring MTU, loss rate, and injected faults. It reports
+// the time the frame finishes serializing (even if lost).
 func (d *direction) transmit(f *Frame, port Port) sim.Time {
 	if f.Size > d.p.MTU {
 		panic(fmt.Sprintf("ethernet: frame size %d exceeds MTU %d", f.Size, d.p.MTU))
+	}
+	if d.f.Down {
+		d.dropped.Inc()
+		return d.k.Now()
 	}
 	start := d.k.Now()
 	if d.busyUntil > start {
@@ -90,9 +117,25 @@ func (d *direction) transmit(f *Frame, port Port) sim.Time {
 		d.dropped.Inc()
 		return done
 	}
+	arrival := done.Add(d.p.Propagation)
+	if d.f.CorruptRate > 0 && d.k.Rand().Float64() < d.f.CorruptRate {
+		// The frame occupies the wire but fails the FCS check on arrival;
+		// nothing is delivered.
+		d.corrupted.Inc()
+		return done
+	}
+	if d.f.ReorderRate > 0 && d.k.Rand().Float64() < d.f.ReorderRate {
+		// Hold the frame back a few frame-times so later frames overtake it.
+		d.reordered.Inc()
+		arrival = arrival.Add(ser * sim.Duration(1+d.k.Rand().Int63n(4)))
+	}
 	d.delivered.Inc()
 	d.bytes.Add(f.Size)
-	d.k.At(done.Add(d.p.Propagation), func() { port.Deliver(f) })
+	d.k.At(arrival, func() { port.Deliver(f) })
+	if d.f.DuplicateRate > 0 && d.k.Rand().Float64() < d.f.DuplicateRate {
+		d.dups.Inc()
+		d.k.At(arrival.Add(d.p.Propagation), func() { port.Deliver(f) })
+	}
 	return done
 }
 
@@ -143,6 +186,92 @@ func (l *Link) SetLossRate(r float64) {
 	l.b2a.p.LossRate = r
 }
 
+// Dir selects one direction of a link for asymmetric fault injection.
+type Dir int
+
+// Link directions: A is the station side, B the switch side.
+const (
+	DirBoth Dir = iota
+	DirA2B      // station → switch ("tx")
+	DirB2A      // switch → station ("rx")
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirA2B:
+		return "tx"
+	case DirB2A:
+		return "rx"
+	default:
+		return "both"
+	}
+}
+
+// dirs returns the direction structs selected by d.
+func (l *Link) dirs(d Dir) []*direction {
+	switch d {
+	case DirA2B:
+		return []*direction{l.a2b}
+	case DirB2A:
+		return []*direction{l.b2a}
+	default:
+		return []*direction{l.a2b, l.b2a}
+	}
+}
+
+// SetDown sets or clears carrier loss on the selected direction(s).
+// DirA2B or DirB2A alone model an asymmetric partition: traffic flows one
+// way but never the other.
+func (l *Link) SetDown(d Dir, down bool) {
+	for _, dir := range l.dirs(d) {
+		dir.f.Down = down
+	}
+}
+
+// Down reports whether any selected direction currently has carrier loss.
+func (l *Link) Down(d Dir) bool {
+	for _, dir := range l.dirs(d) {
+		if dir.f.Down {
+			return true
+		}
+	}
+	return false
+}
+
+// SetCorruptRate sets the FCS-failure rate on the selected direction(s).
+func (l *Link) SetCorruptRate(d Dir, r float64) {
+	for _, dir := range l.dirs(d) {
+		dir.f.CorruptRate = r
+	}
+}
+
+// SetDuplicateRate sets the frame duplication rate on the selected
+// direction(s).
+func (l *Link) SetDuplicateRate(d Dir, r float64) {
+	for _, dir := range l.dirs(d) {
+		dir.f.DuplicateRate = r
+	}
+}
+
+// SetReorderRate sets the frame reordering rate on the selected
+// direction(s).
+func (l *Link) SetReorderRate(d Dir, r float64) {
+	for _, dir := range l.dirs(d) {
+		dir.f.ReorderRate = r
+	}
+}
+
+// Corrupted reports frames discarded by the receiver FCS check in both
+// directions.
+func (l *Link) Corrupted() int64 { return l.a2b.corrupted.Value() + l.b2a.corrupted.Value() }
+
+// Duplicated reports frames delivered twice in both directions.
+func (l *Link) Duplicated() int64 { return l.a2b.dups.Value() + l.b2a.dups.Value() }
+
+// Reordered reports frames held back past their arrival slot in both
+// directions.
+func (l *Link) Reordered() int64 { return l.a2b.reordered.Value() + l.b2a.reordered.Value() }
+
 // Dropped reports frames dropped in both directions.
 func (l *Link) Dropped() int64 { return l.a2b.dropped.Value() + l.b2a.dropped.Value() }
 
@@ -160,6 +289,9 @@ func (l *Link) Instrument(reg *metrics.Registry, name string) {
 		reg.RegisterCounter("ethernet.frames", &d.delivered, metrics.L("link", name), metrics.L("dir", dir))
 		reg.RegisterCounter("ethernet.bytes", &d.bytes, metrics.L("link", name), metrics.L("dir", dir))
 		reg.RegisterCounter("ethernet.dropped", &d.dropped, metrics.L("link", name), metrics.L("dir", dir))
+		reg.RegisterCounter("ethernet.corrupted", &d.corrupted, metrics.L("link", name), metrics.L("dir", dir))
+		reg.RegisterCounter("ethernet.duplicated", &d.dups, metrics.L("link", name), metrics.L("dir", dir))
+		reg.RegisterCounter("ethernet.reordered", &d.reordered, metrics.L("link", name), metrics.L("dir", dir))
 	}
 }
 

@@ -142,6 +142,131 @@ func TestSetLossRate(t *testing.T) {
 	}
 }
 
+func TestLinkDownAndUp(t *testing.T) {
+	k := sim.New(1)
+	_, la, _, _, cb := twoStations(k, GigabitJumbo())
+	la.SetDown(DirBoth, true)
+	if !la.Down(DirBoth) {
+		t.Fatal("Down not reported after SetDown")
+	}
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 100})
+	k.Run()
+	if len(cb.frames) != 0 {
+		t.Fatal("frame delivered over a down link")
+	}
+	if la.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", la.Dropped())
+	}
+	la.SetDown(DirBoth, false)
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 100})
+	k.Run()
+	if len(cb.frames) != 1 {
+		t.Fatal("frame lost after link came back up")
+	}
+}
+
+func TestAsymmetricPartition(t *testing.T) {
+	// Station→switch down, switch→station up: A's frames die but frames
+	// toward A still arrive — the classic one-way partition.
+	k := sim.New(1)
+	_, la, lb, ca, cb := twoStations(k, GigabitJumbo())
+	la.SetDown(DirA2B, true)
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 100})
+	lb.SendFromA(&Frame{Src: 2, Dst: 1, Size: 100})
+	k.Run()
+	if len(cb.frames) != 0 {
+		t.Fatal("frame crossed the partitioned direction")
+	}
+	if len(ca.frames) != 1 {
+		t.Fatalf("reverse direction delivered %d frames, want 1", len(ca.frames))
+	}
+}
+
+func TestCorruptionDiscardsAtReceiver(t *testing.T) {
+	k := sim.New(1)
+	_, la, _, _, cb := twoStations(k, GigabitJumbo())
+	la.SetCorruptRate(DirA2B, 1.0)
+	const n = 20
+	for i := 0; i < n; i++ {
+		la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 1000})
+	}
+	k.Run()
+	if len(cb.frames) != 0 {
+		t.Fatalf("%d corrupt frames delivered", len(cb.frames))
+	}
+	if la.Corrupted() != n {
+		t.Fatalf("Corrupted = %d, want %d", la.Corrupted(), n)
+	}
+	if la.Dropped() != 0 {
+		t.Fatal("corruption must be counted separately from loss")
+	}
+}
+
+func TestDuplicationDeliversTwice(t *testing.T) {
+	k := sim.New(1)
+	_, la, _, _, cb := twoStations(k, GigabitJumbo())
+	la.SetDuplicateRate(DirA2B, 1.0)
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 100})
+	k.Run()
+	// Duplication on the ingress hop: the switch forwards both copies.
+	if len(cb.frames) != 2 {
+		t.Fatalf("delivered %d frames, want 2 (original + duplicate)", len(cb.frames))
+	}
+	if la.Duplicated() != 1 {
+		t.Fatalf("Duplicated = %d, want 1", la.Duplicated())
+	}
+}
+
+func TestReorderingOvertakesFrames(t *testing.T) {
+	k := sim.New(1)
+	_, la, _, _, cb := twoStations(k, GigabitJumbo())
+	// Force the first frame to be held back; send a clean train behind it.
+	la.SetReorderRate(DirA2B, 1.0)
+	la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 9000, EtherType: 1})
+	la.SetReorderRate(DirA2B, 0)
+	for i := 0; i < 4; i++ {
+		la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 9000, EtherType: 2})
+	}
+	k.Run()
+	if len(cb.frames) != 5 {
+		t.Fatalf("delivered %d frames, want 5", len(cb.frames))
+	}
+	if la.Reordered() != 1 {
+		t.Fatalf("Reordered = %d, want 1", la.Reordered())
+	}
+	if cb.frames[0].EtherType == 1 {
+		t.Fatal("held-back frame still arrived first; no reordering happened")
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	// The same seed and the same impairment settings must deliver the same
+	// frames at the same instants.
+	run := func() []sim.Time {
+		k := sim.New(99)
+		p := GigabitJumbo()
+		p.LossRate = 0.2
+		_, la, _, _, cb := twoStations(k, p)
+		la.SetCorruptRate(DirA2B, 0.1)
+		la.SetDuplicateRate(DirA2B, 0.1)
+		la.SetReorderRate(DirA2B, 0.1)
+		for i := 0; i < 200; i++ {
+			la.SendFromA(&Frame{Src: 1, Dst: 2, Size: 1000})
+		}
+		k.Run()
+		return cb.times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestBidirectionalIndependence(t *testing.T) {
 	// Full duplex: simultaneous transfers in both directions don't share
 	// bandwidth.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -187,6 +188,14 @@ func TestMetricsSnapshotSubsystems(t *testing.T) {
 	if got := snap.CounterValue("vblade.requests", metrics.L("node", "server")); got == 0 {
 		t.Fatal("no vblade requests recorded")
 	}
+	// The recovery instruments are registered on every run, even without
+	// faults: zero is a meaningful reading.
+	if _, ok := snap.Get("aoe.failovers", metrics.L("node", n.M.Name)); !ok {
+		t.Fatal("AoE failover counter not registered")
+	}
+	if _, ok := snap.Get("vmm.watchdog_fires", metrics.L("node", n.M.Name)); !ok {
+		t.Fatal("VMM watchdog counter not registered")
+	}
 
 	// The text dump renders without error and mentions each subsystem.
 	var b strings.Builder
@@ -195,6 +204,60 @@ func TestMetricsSnapshotSubsystems(t *testing.T) {
 		if !strings.Contains(b.String(), want) {
 			t.Fatalf("metrics dump missing %q", want)
 		}
+	}
+}
+
+// TestChaosMetricsPopulated runs a deployment under a fault schedule that
+// crashes the primary server mid-run and checks that the chaos
+// instruments — injected faults, server crashes, AoE failovers — all land
+// in the shared registry.
+func TestChaosMetricsPopulated(t *testing.T) {
+	cfg := small()
+	tb := New(cfg)
+	tb.AddSecondaryServer(cfg)
+	n := tb.AddNode(cfg)
+	n.M.Firmware.InitTime = sim.Second
+
+	sched, err := faults.Parse("3s crash server; 5s loss node0.vmm 0.02; 8s loss node0.vmm 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.NewFaultInjector().Apply(sched); err != nil {
+		t.Fatal(err)
+	}
+
+	var res *BMcastResult
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		r, err := tb.DeployBMcast(p, n, core.DefaultConfig(), quickBoot(cfg))
+		if err != nil {
+			t.Error(err)
+			tb.K.Stop()
+			return
+		}
+		tb.WaitBareMetal(p, n, r)
+		res = r
+		tb.K.Stop()
+	})
+	tb.K.RunUntil(sim.Time(2 * sim.Hour))
+	if res == nil {
+		t.Fatal("deployment did not complete under the fault schedule")
+	}
+
+	snap := tb.Metrics.Snapshot()
+	if got := snap.CounterValue("faults.injected"); got != 3 {
+		t.Fatalf("faults.injected = %v, want 3", got)
+	}
+	if got := snap.CounterValue("vblade.crashes", metrics.L("node", "server")); got != 1 {
+		t.Fatalf("vblade.crashes = %v, want 1", got)
+	}
+	if got := snap.CounterValue("aoe.failovers", metrics.L("node", n.M.Name)); got == 0 {
+		t.Fatal("no AoE failovers recorded despite a primary crash")
+	}
+	if got := snap.CounterValue("vmm.watchdog_fires", metrics.L("node", n.M.Name)); got != 0 {
+		t.Fatalf("watchdog fired %v times on a recoverable run", got)
+	}
+	if _, err := tb.VerifyDeployment(n); err != nil {
+		t.Fatal(err)
 	}
 }
 

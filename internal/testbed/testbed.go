@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ethernet"
+	"repro/internal/faults"
 	"repro/internal/guest"
 	"repro/internal/hw/disk"
 	"repro/internal/hw/ib"
@@ -32,6 +33,13 @@ type Testbed struct {
 	Image     *disk.Image
 	Server    *vblade.Server
 	ServerNIC *nic.NIC
+	// ServerLink is the primary storage server's switch link.
+	ServerLink *ethernet.Link
+
+	// Secondaries are additional storage servers exporting the same image,
+	// added via AddSecondaryServer; deployments fail over to them when the
+	// primary dies.
+	Secondaries []*Secondary
 
 	Nodes []*Node
 
@@ -53,6 +61,12 @@ type Node struct {
 	// NIC 1 (dedicated to the VMM), for fault injection.
 	GuestLink *ethernet.Link
 	VMMLink   *ethernet.Link
+}
+
+// Links returns the node's switch links: the guest NIC's and the VMM
+// NIC's, in that order — the per-node handles fault injection targets.
+func (n *Node) Links() []*ethernet.Link {
+	return []*ethernet.Link{n.GuestLink, n.VMMLink}
 }
 
 // Config configures a testbed.
@@ -94,12 +108,41 @@ func New(cfg Config) *Testbed {
 	link := tb.Switch.Connect(ethernet.GigabitJumbo())
 	tb.links = append(tb.links, link)
 	link.Instrument(tb.Metrics, "server")
+	tb.ServerLink = link
 	tb.ServerNIC = nic.New(k, "server.eth0", nic.IntelX540, ServerMAC, link)
 	tb.Server = vblade.NewServer(k, tb.ServerNIC, cfg.ServerThreads)
 	tb.Server.Instrument(tb.Metrics, tb.Trace, "server")
 	tb.Server.AddTarget(0, 0, tb.Image)
 	tb.Server.Start()
 	return tb
+}
+
+// Secondary is one additional storage server for failover experiments.
+type Secondary struct {
+	Server *vblade.Server
+	NIC    *nic.NIC
+	MAC    ethernet.MAC
+	Link   *ethernet.Link
+}
+
+// AddSecondaryServer attaches another vblade server exporting the same
+// image to the switch. Deployments started afterwards get it appended to
+// their initiator's failover list.
+func (tb *Testbed) AddSecondaryServer(cfg Config) *Secondary {
+	idx := len(tb.Secondaries)
+	mac := ServerMAC + 1 + ethernet.MAC(idx)
+	name := fmt.Sprintf("server%d", idx+2)
+	link := tb.Switch.Connect(ethernet.GigabitJumbo())
+	tb.links = append(tb.links, link)
+	link.Instrument(tb.Metrics, name)
+	n := nic.New(tb.K, name+".eth0", nic.IntelX540, mac, link)
+	s := vblade.NewServer(tb.K, n, cfg.ServerThreads)
+	s.Instrument(tb.Metrics, tb.Trace, name)
+	s.AddTarget(0, 0, tb.Image)
+	s.Start()
+	sec := &Secondary{Server: s, NIC: n, MAC: mac, Link: link}
+	tb.Secondaries = append(tb.Secondaries, sec)
+	return sec
 }
 
 // AddNode assembles a new instance machine attached to the switch and IB
@@ -126,6 +169,28 @@ func (tb *Testbed) AddNode(cfg Config) *Node {
 	n := &Node{M: m, OS: guest.NewOS("ubuntu", m), GuestLink: l0, VMMLink: l1}
 	tb.Nodes = append(tb.Nodes, n)
 	return n
+}
+
+// NewFaultInjector returns a fault injector with the testbed's links and
+// servers registered under canonical names: "server" for the primary
+// vblade (both its link and the server itself), "server2", "server3", …
+// for secondaries, and "node<i>.guest" / "node<i>.vmm" for each node's
+// links. Assemble the cluster first; targets added later are not seen.
+func (tb *Testbed) NewFaultInjector() *faults.Injector {
+	inj := faults.NewInjector(tb.K)
+	inj.Instrument(tb.Metrics, tb.Trace)
+	inj.RegisterLink("server", tb.ServerLink)
+	inj.RegisterServer("server", tb.Server)
+	for i, sec := range tb.Secondaries {
+		name := fmt.Sprintf("server%d", i+2)
+		inj.RegisterLink(name, sec.Link)
+		inj.RegisterServer(name, sec.Server)
+	}
+	for i, n := range tb.Nodes {
+		inj.RegisterLink(fmt.Sprintf("node%d.guest", i), n.GuestLink)
+		inj.RegisterLink(fmt.Sprintf("node%d.vmm", i), n.VMMLink)
+	}
+	return inj
 }
 
 // Links returns every link attached to the switch, for fault injection.
@@ -162,6 +227,9 @@ func (tb *Testbed) DeployBMcast(p *sim.Proc, n *Node, vcfg core.Config, bp guest
 		return nil, err
 	}
 	n.VMM = vmm
+	for _, sec := range tb.Secondaries {
+		vmm.Initiator().AddTarget(sec.MAC, 0, 0)
+	}
 	res.VMMBooted = p.Now()
 	if err := n.OS.Boot(p, bp); err != nil {
 		return nil, err

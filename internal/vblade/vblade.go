@@ -9,6 +9,8 @@
 package vblade
 
 import (
+	"sort"
+
 	"repro/internal/aoe"
 	"repro/internal/ethernet"
 	"repro/internal/hw/disk"
@@ -26,6 +28,34 @@ type Target struct {
 	Minor uint8
 	Image *disk.Image
 	store *disk.Store
+
+	// badRanges are injected media-error windows: reads overlapping one
+	// before its deadline answer with an AoE error instead of data.
+	badRanges []mediaError
+}
+
+// mediaError is one injected media-error window on a target.
+type mediaError struct {
+	lba, count int64
+	until      sim.Time
+}
+
+// AddMediaError makes reads overlapping [lba, lba+count) fail with an AoE
+// error response until the given instant — a disk surface fault that the
+// drive's remapping eventually papers over.
+func (t *Target) AddMediaError(lba, count int64, until sim.Time) {
+	t.badRanges = append(t.badRanges, mediaError{lba: lba, count: count, until: until})
+}
+
+// mediaFault reports whether a read of [lba, lba+count) at instant now
+// hits an active media-error window.
+func (t *Target) mediaFault(lba, count int64, now sim.Time) bool {
+	for _, b := range t.badRanges {
+		if now < b.until && lba < b.lba+b.count && b.lba < lba+count {
+			return true
+		}
+	}
+	return false
 }
 
 // Server is the AoE target daemon.
@@ -46,11 +76,17 @@ type Server struct {
 	// served from the server's page cache).
 	CopyRate float64
 
+	// crashed marks a crashed server: arriving frames are dropped and
+	// mid-service workers suppress their responses. Restart clears it.
+	crashed bool
+
 	Requests     metrics.Counter
 	BytesServed  metrics.Counter
 	BytesStored  metrics.Counter
 	WriteErrors  metrics.Counter
 	UnknownDrops metrics.Counter
+	MediaErrors  metrics.Counter
+	Crashes      metrics.Counter
 
 	// Observability (see Instrument): a span per served fragment plus the
 	// live queue-depth gauge.
@@ -70,6 +106,8 @@ func (s *Server) Instrument(reg *metrics.Registry, tr *trace.Recorder, node stri
 	reg.RegisterCounter("vblade.bytes_stored", &s.BytesStored, l)
 	reg.RegisterCounter("vblade.write_errors", &s.WriteErrors, l)
 	reg.RegisterCounter("vblade.unknown_drops", &s.UnknownDrops, l)
+	reg.RegisterCounter("vblade.media_errors", &s.MediaErrors, l)
+	reg.RegisterCounter("vblade.crashes", &s.Crashes, l)
 	s.depth = reg.Gauge("vblade.queue_depth", l)
 }
 
@@ -110,12 +148,20 @@ func (s *Server) Start() {
 		if f.EtherType != aoe.EtherType {
 			return
 		}
+		// Frames racing a Stop or Crash (already serialized onto the wire,
+		// arriving after the queue closed) are dropped, never pushed — a
+		// stopped daemon must not panic on late traffic.
+		if s.crashed || s.queue.Closed() {
+			s.UnknownDrops.Inc()
+			return
+		}
 		s.queue.Push(f)
 	})
 	for i := 0; i < s.Threads; i++ {
 		s.k.Spawn("vblade.worker", func(p *sim.Proc) {
+			q := s.queue // this incarnation's queue; Restart swaps in a new one
 			for {
-				f, ok := s.queue.Pop(p)
+				f, ok := q.Pop(p)
 				if !ok {
 					return
 				}
@@ -125,8 +171,58 @@ func (s *Server) Start() {
 	}
 }
 
-// Stop closes the request queue; workers drain and exit.
+// Stop closes the request queue; workers drain queued requests and exit.
+// Requests still on the wire are dropped on arrival; their initiators time
+// out, retransmit, and eventually fail over or fail.
 func (s *Server) Stop() { s.queue.Close() }
+
+// Crash models a hard server failure: the queue is discarded along with
+// every request in it, arriving frames fall on the floor, and workers
+// mid-service never send their responses. Target write state is lost on
+// the subsequent Restart (the page cache never reached stable storage).
+func (s *Server) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.Crashes.Inc()
+	s.tr.Emit(s.node, "vblade", "crash")
+	for { // drop everything already queued
+		if _, ok := s.queue.TryPop(); !ok {
+			break
+		}
+	}
+	s.queue.Close() // workers drain to the closed empty queue and exit
+	if s.depth != nil {
+		s.depth.Set(0)
+	}
+}
+
+// Restart brings a crashed (or stopped) server back: a fresh queue, a
+// fresh worker pool, and — for a crash — each target's store reset to the
+// pristine image, modeling the loss of all write state.
+func (s *Server) Restart() {
+	if s.crashed {
+		keys := make([]uint32, 0, len(s.targets))
+		for k := range s.targets {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			t := s.targets[k]
+			t.store = disk.NewStore(t.Image.Sectors)
+			t.store.Write(0, t.Image.Sectors, t.Image)
+			t.badRanges = nil
+		}
+	}
+	s.crashed = false
+	s.queue = sim.NewQueue[*ethernet.Frame](s.k, "vblade.q")
+	s.tr.Emit(s.node, "vblade", "restart")
+	s.Start()
+}
+
+// Crashed reports whether the server is currently crashed.
+func (s *Server) Crashed() bool { return s.crashed }
 
 // QueueDepth reports requests waiting for a worker.
 func (s *Server) QueueDepth() int { return s.queue.Len() }
@@ -165,6 +261,13 @@ func (s *Server) serve(p *sim.Proc, f *ethernet.Frame) {
 		if msg.IsWrite() {
 			s.WriteErrors.Inc()
 		}
+	case !msg.IsWrite() && t.mediaFault(lba, count, s.k.Now()):
+		// Injected media-error window: the drive answers the read with an
+		// error status instead of data. The initiator fails over to a
+		// secondary target if one is configured, else errors the request.
+		resp.Flags |= aoe.FlagError
+		resp.Error = 2
+		s.MediaErrors.Inc()
 	case msg.IsWrite():
 		p.Sleep(sim.RateDuration(bytes, s.CopyRate))
 		t.store.Write(lba, count, msg.Payload.Source)
@@ -175,6 +278,11 @@ func (s *Server) serve(p *sim.Proc, f *ethernet.Frame) {
 		s.BytesServed.Add(bytes)
 	}
 
+	if s.crashed {
+		// The server died while this worker was mid-service; the response
+		// is never sent.
+		return
+	}
 	s.nic.Send(&ethernet.Frame{
 		Dst:       f.Src,
 		EtherType: aoe.EtherType,

@@ -226,3 +226,138 @@ func TestRTTEstimateReasonable(t *testing.T) {
 		t.Fatalf("RTT estimate = %v, want ~100-600µs", rtt)
 	}
 }
+
+func TestStopMidFlightDoesNotPanic(t *testing.T) {
+	// Closing the queue with requests pending (queued, mid-service, and
+	// still on the wire) must not panic; the in-flight initiator times out,
+	// retransmits into the void, and fails cleanly.
+	img := disk.NewSynthImage("ubuntu", 8<<20, 7)
+	r := newRig(t, img, 1)
+	r.init.MaxRetries = 4
+	r.k.After(2*sim.Millisecond, r.server.Stop) // mid-stream
+	var err error
+	var completed int
+	r.k.Spawn("client", func(p *sim.Proc) {
+		// A stream of requests: the ones queued before Stop drain, the ones
+		// arriving after the close get dropped and must fail by timeout.
+		for i := int64(0); i < 16; i++ {
+			if _, err = r.init.Read(p, i*512, 512); err != nil {
+				return
+			}
+			completed++
+		}
+	})
+	r.k.Run()
+	if err == nil {
+		t.Fatal("read against a stopped server succeeded")
+	}
+	if completed == 0 {
+		t.Fatal("no request completed before the stop; scenario did not exercise mid-flight close")
+	}
+	if r.server.UnknownDrops.Value() == 0 {
+		t.Fatal("frames arriving after Stop were not dropped/counted")
+	}
+}
+
+func TestCrashLosesWriteState(t *testing.T) {
+	img := disk.NewSynthImage("ubuntu", 1<<20, 7)
+	r := newRig(t, img, 2)
+	data := bytes.Repeat([]byte{0xEE}, 2*disk.SectorSize)
+	want := make([]byte, 2*disk.SectorSize)
+	img.ReadAt(300, want)
+	var got []byte
+	r.k.Spawn("client", func(p *sim.Proc) {
+		src := disk.NewBuffer(300, data, "w")
+		if err := r.init.Write(p, disk.Payload{LBA: 300, Count: 2, Source: src}); err != nil {
+			t.Error(err)
+			return
+		}
+		r.server.Crash()
+		r.server.Restart()
+		pl, err := r.init.Read(p, 300, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = pl.Bytes()
+	})
+	r.k.Run()
+	if bytes.Equal(got, data) {
+		t.Fatal("write survived a crash; page-cache state should be lost")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restarted server does not serve the pristine image")
+	}
+	if r.server.Crashes.Value() != 1 {
+		t.Fatalf("Crashes = %d, want 1", r.server.Crashes.Value())
+	}
+}
+
+func TestCrashMidTransferFailsOverToSecondary(t *testing.T) {
+	// Two vblade servers export the same image; the primary crashes
+	// mid-read and the initiator completes via the secondary, byte-exact.
+	img := disk.NewSynthImage("ubuntu", 8<<20, 7)
+	k := sim.New(42)
+	sw := ethernet.NewSwitch(k, "sw", 5*sim.Microsecond)
+	clLink := sw.Connect(ethernet.GigabitJumbo())
+	client := nic.New(k, "cl0", nic.IntelPro1000, 0x02, clLink)
+	newServer := func(name string, mac ethernet.MAC) *vblade.Server {
+		l := sw.Connect(ethernet.GigabitJumbo())
+		n := nic.New(k, name, nic.IntelX540, mac, l)
+		s := vblade.NewServer(k, n, 4)
+		s.AddTarget(0, 0, img)
+		s.Start()
+		return s
+	}
+	primary := newServer("sv0", 0x01)
+	newServer("sv1", 0x03)
+	in := aoe.NewInitiator(k, client, 0x01, 0, 0)
+	in.AddTarget(0x03, 0, 0)
+	in.MaxRetries = 4
+	k.After(3*sim.Millisecond, primary.Crash)
+	var got []byte
+	k.Spawn("client", func(p *sim.Proc) {
+		pl, err := in.Read(p, 0, 2048)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = pl.Bytes()
+	})
+	k.Run()
+	want := make([]byte, 2048*disk.SectorSize)
+	img.ReadAt(0, want)
+	if !bytes.Equal(got, want) {
+		t.Fatal("failover read returned wrong content")
+	}
+	if in.Failovers.Value() != 1 {
+		t.Fatalf("Failovers = %d, want 1", in.Failovers.Value())
+	}
+	if !primary.Crashed() {
+		t.Fatal("primary not marked crashed")
+	}
+}
+
+func TestMediaErrorWindow(t *testing.T) {
+	img := disk.NewSynthImage("ubuntu", 1<<20, 7)
+	r := newRig(t, img, 2)
+	r.init.MaxRetries = 2
+	// Sectors [100,200) are unreadable until t=1s.
+	r.server.Target(0, 0).AddMediaError(100, 100, sim.Time(sim.Second))
+	var early, late error
+	r.k.Spawn("client", func(p *sim.Proc) {
+		_, early = r.init.Read(p, 120, 8) // inside the window
+		p.Sleep(sim.Second)
+		_, late = r.init.Read(p, 120, 8) // window expired
+	})
+	r.k.Run()
+	if early == nil {
+		t.Fatal("read inside the media-error window succeeded")
+	}
+	if late != nil {
+		t.Fatalf("read after the window expired failed: %v", late)
+	}
+	if r.server.MediaErrors.Value() == 0 {
+		t.Fatal("MediaErrors not counted")
+	}
+}
