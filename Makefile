@@ -5,11 +5,11 @@ GO ?= go
 # are run once — their headline metrics are simulated time, which does not
 # depend on iteration count.
 MICRO ?= BenchmarkSimEventThroughput|BenchmarkTrace|BenchmarkAoEHeaderMarshal|BenchmarkBitmap|BenchmarkStoreWrite|BenchmarkMediatedReadRedirect
-MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkAblation
+MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkFleetDeploy|BenchmarkAblation
 
 BMCASTLINT := bin/bmcastlint
 
-.PHONY: test bench bench-smoke lint check chaos
+.PHONY: test bench bench-rebase bench-smoke bench-compare lint check chaos
 
 test:
 	$(GO) build ./...
@@ -47,11 +47,30 @@ check: test lint
 
 # bench regenerates BENCH_results.json, the tracked perf baseline future
 # PRs are measured against. Micro and macro passes are concatenated into
-# one parse.
+# one parse. The new numbers are gated against the previous baseline first
+# (-compare exits non-zero on >20% ns/op or any allocs/op regression), so a
+# regression leaves the tracked file untouched.
 bench:
 	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 1 . && \
 	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 1 . ) \
+	| $(GO) run ./cmd/bench2json -out BENCH_results.new.json -compare BENCH_results.json
+	mv BENCH_results.new.json BENCH_results.json
+
+# bench-rebase regenerates the baseline without the regression gate — for
+# deliberate suite-shape changes (a new benchmark, a cell added to the
+# registry sweep) where the old numbers are not comparable.
+bench-rebase:
+	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 1 . && \
+	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 1 . ) \
 	| $(GO) run ./cmd/bench2json -out BENCH_results.json
+
+# bench-compare runs the tracked benchmark suite and checks it against the
+# committed baseline without rewriting it; BENCH_compare.json is the fresh
+# run (CI uploads it as an artifact).
+bench-compare:
+	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 1 . && \
+	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 1 . ) \
+	| $(GO) run ./cmd/bench2json -out BENCH_compare.json -compare BENCH_results.json
 
 # bench-smoke is the CI variant: every benchmark once, just to prove the
 # harness and all benchmark code paths still run end to end.

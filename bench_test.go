@@ -130,6 +130,28 @@ func BenchmarkDeployment(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetDeploy measures the fleet fast path: 32 simultaneous
+// BMcast deployments streaming one 1 GB image through a single
+// cache-enabled vblade. It reports the worst time-to-ready, the serving
+// cache's hit rate, and the server's aggregate simulated throughput.
+func BenchmarkFleetDeploy(b *testing.B) {
+	const fleet = 32
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i + 1)
+		r, err := experiments.FleetRun(opt, fleet, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.HitRate <= 0.9 {
+			b.Fatalf("fleet cache hit rate = %.4f, want > 0.9", r.HitRate)
+		}
+		b.ReportMetric(r.Worst.Seconds(), "sim-s/worst-ready")
+		b.ReportMetric(r.HitRate, "hit-rate")
+		b.ReportMetric(float64(r.Served)/r.Elapsed.Seconds()/1e6, "sim-MB/s/served")
+	}
+}
+
 // --- ablations -------------------------------------------------------------
 
 // BenchmarkAblationInterruptStrategy compares the paper's dummy-sector

@@ -5,12 +5,20 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/bench2json -out BENCH_results.json
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/bench2json -compare BENCH_results.json
 //
 // Every metric pair the benchmark framework prints — ns/op, B/op,
 // allocs/op, and custom b.ReportMetric units like sim-s/ready — lands in
 // the benchmark's metrics map verbatim, so new metrics never require a
 // parser change. Input lines are echoed to stderr, so the harness stays
 // readable when run by hand or in CI logs.
+//
+// With -compare the parsed results are checked against a baseline document:
+// a benchmark regresses when its ns/op grows by more than 20% (wall-clock
+// headroom for machine noise) or its allocs/op grows at all (allocation
+// counts are deterministic, so any increase is a real change). Regressions
+// are listed on stderr and the exit status is non-zero, which is how
+// `make bench` and the bench-compare CI job gate perf changes.
 package main
 
 import (
@@ -39,8 +47,12 @@ type Doc struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// nsOpSlack is how much ns/op may grow before it counts as a regression.
+const nsOpSlack = 1.20
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON; exit non-zero on >20% ns/op or any allocs/op regression")
 	flag.Parse()
 
 	doc := Doc{Benchmarks: []Benchmark{}}
@@ -77,12 +89,71 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench2json: write: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *compare != "" {
+		blob, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: compare: %v\n", err)
+			os.Exit(1)
+		}
+		var base Doc
+		if err := json.Unmarshal(blob, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: compare: parse %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		regressions, notes := Compare(base, doc)
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "bench2json: %s\n", n)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "bench2json: REGRESSION %s\n", r)
+			}
+			fmt.Fprintf(os.Stderr, "bench2json: %d regression(s) against %s\n", len(regressions), *compare)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench2json: no regressions against %s\n", *compare)
+	}
+}
+
+// Compare checks every benchmark in cur against its baseline entry. It
+// returns regression descriptions (ns/op growth beyond nsOpSlack, or any
+// allocs/op growth) and informational notes (benchmarks without a baseline
+// counterpart, baseline entries that disappeared).
+func Compare(base, cur Doc) (regressions, notes []string) {
+	old := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		seen[b.Name] = true
+		o, ok := old[b.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: new benchmark, no baseline", b.Name))
+			continue
+		}
+		if on, cn := o.Metrics["ns/op"], b.Metrics["ns/op"]; on > 0 && cn > on*nsOpSlack {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%, limit +%.0f%%)",
+					b.Name, on, cn, (cn/on-1)*100, (nsOpSlack-1)*100))
+		}
+		oa, hadAllocs := o.Metrics["allocs/op"]
+		if ca := b.Metrics["allocs/op"]; hadAllocs && ca > oa {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %.0f -> %.0f (any increase regresses)", b.Name, oa, ca))
+		}
+	}
+	for _, o := range base.Benchmarks {
+		if !seen[o.Name] {
+			notes = append(notes, fmt.Sprintf("%s: in baseline but not in this run", o.Name))
+		}
+	}
+	return regressions, notes
 }
 
 // parseLine parses one result line of the form

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkFoo-8   1234   63.45 ns/op   48 B/op   1 allocs/op")
+	if !ok || b.Name != "BenchmarkFoo-8" || b.Iterations != 1234 {
+		t.Fatalf("parseLine = %+v, %v", b, ok)
+	}
+	if b.Metrics["ns/op"] != 63.45 || b.Metrics["allocs/op"] != 1 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if _, ok := parseLine("Benchmark broken line"); ok {
+		t.Fatal("malformed line parsed")
+	}
+}
+
+func TestCompareCatchesRegressions(t *testing.T) {
+	base := Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"ns/op": 100, "allocs/op": 10}),
+		bench("BenchmarkB", map[string]float64{"ns/op": 100, "allocs/op": 10}),
+		bench("BenchmarkGone", map[string]float64{"ns/op": 1}),
+	}}
+	cur := Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"ns/op": 121, "allocs/op": 10}), // >20% ns/op
+		bench("BenchmarkB", map[string]float64{"ns/op": 90, "allocs/op": 11}),  // +1 alloc
+		bench("BenchmarkNew", map[string]float64{"ns/op": 5}),
+	}}
+	regs, notes := Compare(base, cur)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+	if !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("first regression = %q", regs[0])
+	}
+	if !strings.Contains(regs[1], "BenchmarkB") || !strings.Contains(regs[1], "allocs/op") {
+		t.Fatalf("second regression = %q", regs[1])
+	}
+	if len(notes) != 2 { // BenchmarkNew has no baseline; BenchmarkGone vanished
+		t.Fatalf("notes = %v, want 2", notes)
+	}
+}
+
+func TestCompareToleratesNoiseAndImprovement(t *testing.T) {
+	base := Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"ns/op": 100, "allocs/op": 10}),
+	}}
+	cur := Doc{Benchmarks: []Benchmark{
+		// +19% wall time is inside the slack; fewer allocs is an improvement.
+		bench("BenchmarkA", map[string]float64{"ns/op": 119, "allocs/op": 8}),
+	}}
+	if regs, _ := Compare(base, cur); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareHandlesMissingMetrics(t *testing.T) {
+	// Macro benchmarks at -benchtime=1x may lack allocs/op (no -benchmem);
+	// a missing metric on either side must not regress.
+	base := Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"ns/op": 100}),
+	}}
+	cur := Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"ns/op": 100, "allocs/op": 50}),
+	}}
+	if regs, _ := Compare(base, cur); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}

@@ -52,6 +52,9 @@ type Initiator struct {
 	// a 32 GB background copy issues millions — does not allocate a fresh
 	// record per request.
 	reqPool []*pendingReq
+	// framePool recycles outbound request frames; they come back when the
+	// target (or a drop point on the path) releases them.
+	framePool FramePool
 
 	// RTO management: exponentially weighted RTT estimate; the timeout
 	// fires only after no fragment progress for the current RTO.
@@ -241,6 +244,10 @@ func (in *Initiator) RTT() sim.Duration { return in.rtt }
 func (in *Initiator) SectorsPerFragment() int64 { return in.perFrame }
 
 func (in *Initiator) handleFrame(f *ethernet.Frame) {
+	// The initiator is the final consumer of response frames: whatever it
+	// needs (the payload descriptor) is copied out below, so the frame's
+	// last reference drops on every return path.
+	defer f.Release()
 	msg, ok := f.Payload.(*Message)
 	if !ok || f.EtherType != EtherType || !msg.IsResponse() {
 		return
@@ -279,14 +286,15 @@ func (in *Initiator) fragRange(pr *pendingReq, frag int) (lba, count int64) {
 
 func (in *Initiator) sendFragment(pr *pendingReq, reqID uint32, frag int) {
 	lba, count := in.fragRange(pr, frag)
-	msg := &Message{Header: Header{
+	f, msg := in.framePool.Get()
+	msg.Header = Header{
 		Major:     in.Major,
 		Minor:     in.Minor,
 		Tag:       MakeTag(reqID, frag),
 		Count:     uint16(count),
 		LBA:       uint64(lba),
 		FragTotal: uint16(pr.frags),
-	}}
+	}
 	if pr.write {
 		msg.AFlags = AFlagWrite | AFlagLBA48
 		msg.Cmd = CmdWriteDMAExt
@@ -297,12 +305,10 @@ func (in *Initiator) sendFragment(pr *pendingReq, reqID uint32, frag int) {
 	}
 	pr.sentAt[frag] = in.k.Now()
 	in.FragmentsSent.Inc()
-	in.nic.Send(&ethernet.Frame{
-		Dst:       in.Server,
-		EtherType: EtherType,
-		Payload:   msg,
-		Size:      ethernet.HeaderSize + msg.WireSize(),
-	})
+	f.Dst = in.Server
+	f.EtherType = EtherType
+	f.Size = ethernet.HeaderSize + msg.WireSize()
+	in.nic.Send(f)
 }
 
 // run executes a request to completion with retransmission, blocking the
@@ -313,12 +319,18 @@ func (in *Initiator) run(p *sim.Proc, pr *pendingReq) error {
 	in.pending[reqID] = pr
 	defer delete(in.pending, reqID)
 	in.Requests.Inc()
-	name := "read"
-	if pr.write {
-		name = "write"
+	// Building span attributes boxes values even when no recorder is
+	// installed, so the uninstrumented hot path skips Begin entirely
+	// (End is nil-safe).
+	var sp *trace.Span
+	if in.tr != nil {
+		name := "read"
+		if pr.write {
+			name = "write"
+		}
+		sp = in.tr.Begin(in.node, "aoe", name,
+			trace.Int("lba", pr.lba), trace.Int("count", pr.count), trace.Int("frags", int64(pr.frags)))
 	}
-	sp := in.tr.Begin(in.node, "aoe", name,
-		trace.Int("lba", pr.lba), trace.Int("count", pr.count), trace.Int("frags", int64(pr.frags)))
 	defer sp.End()
 
 	for f := 0; f < pr.frags; f++ {

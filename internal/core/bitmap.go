@@ -5,7 +5,10 @@
 // seamless de-virtualization (paper §3).
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Bitmap tracks, per sector, whether the local disk already holds valid
 // data (filled by the background copy, copy-on-read, or a guest write).
@@ -13,9 +16,20 @@ import "fmt"
 // keep the VMM from overwriting guest-written blocks (§3.3); here the
 // atomicity is the simulation's cooperative scheduling: checks and updates
 // between yields are indivisible.
+//
+// The structure is a two-level hierarchy: words holds one bit per sector,
+// and summary holds one bit per word, set when that word is completely
+// filled. Scans skip filled regions one summary word — 4096 sectors — at
+// a time, which keeps NextUnfilled cheap late in a deployment when almost
+// everything below the copy frontier is filled.
 type Bitmap struct {
 	sectors int64
 	words   []uint64
+	// summary: bit j of summary[i] is set iff words[i*64+j] == ^uint64(0).
+	// The trailing partial word of a non-multiple-of-64 bitmap never
+	// reaches all-ones, so its summary bit stays clear — scans always
+	// examine it directly, exactly like the flat scan did.
+	summary []uint64
 	filled  int64
 }
 
@@ -24,7 +38,12 @@ func NewBitmap(sectors int64) *Bitmap {
 	if sectors <= 0 {
 		panic("core: bitmap must cover a positive sector count")
 	}
-	return &Bitmap{sectors: sectors, words: make([]uint64, (sectors+63)/64)}
+	nw := (sectors + 63) / 64
+	return &Bitmap{
+		sectors: sectors,
+		words:   make([]uint64, nw),
+		summary: make([]uint64, (nw+63)/64),
+	}
 }
 
 // Sectors reports the tracked capacity.
@@ -48,13 +67,28 @@ func (b *Bitmap) Filled(lba int64) bool {
 	return b.words[lba/64]&(1<<uint(lba%64)) != 0
 }
 
+// rangeMask returns the mask covering bits [off, off+n) of a word, n ≤ 64.
+func rangeMask(off, n int64) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1)<<uint(n) - 1) << uint(off)
+}
+
 // AllFilled reports whether every sector in [lba, lba+count) is filled.
 func (b *Bitmap) AllFilled(lba, count int64) bool {
 	b.check(lba, count)
-	for i := lba; i < lba+count; i++ {
-		if b.words[i/64]&(1<<uint(i%64)) == 0 {
+	for i, end := lba, lba+count; i < end; {
+		off := i % 64
+		n := 64 - off
+		if rem := end - i; n > rem {
+			n = rem
+		}
+		m := rangeMask(off, n)
+		if b.words[i/64]&m != m {
 			return false
 		}
+		i += n
 	}
 	return true
 }
@@ -64,12 +98,21 @@ func (b *Bitmap) AllFilled(lba, count int64) bool {
 func (b *Bitmap) MarkFilled(lba, count int64) int64 {
 	b.check(lba, count)
 	var changed int64
-	for i := lba; i < lba+count; i++ {
-		w, bit := i/64, uint64(1)<<uint(i%64)
-		if b.words[w]&bit == 0 {
-			b.words[w] |= bit
-			changed++
+	for i, end := lba, lba+count; i < end; {
+		off := i % 64
+		n := 64 - off
+		if rem := end - i; n > rem {
+			n = rem
 		}
+		w := i / 64
+		if added := rangeMask(off, n) &^ b.words[w]; added != 0 {
+			b.words[w] |= added
+			changed += int64(bits.OnesCount64(added))
+			if b.words[w] == ^uint64(0) {
+				b.summary[w/64] |= 1 << uint(w%64)
+			}
+		}
+		i += n
 	}
 	b.filled += changed
 	return changed
@@ -105,37 +148,106 @@ func (b *Bitmap) UnfilledRuns(lba, count int64) []Run {
 
 // NextUnfilled finds the first unfilled sector at or after lba, wrapping
 // to the start; it returns the run beginning there, capped at maxCount.
-// ok is false when the bitmap is complete.
+// An out-of-range lba (negative, or past the last sector) is normalized
+// onto [0, sectors) by modular wrap — deterministic, and visible to the
+// caller through the returned Run's LBA rather than a silent restart from
+// sector 0. ok is false when the bitmap is complete.
 func (b *Bitmap) NextUnfilled(lba, maxCount int64) (Run, bool) {
 	if b.Complete() {
 		return Run{}, false
 	}
 	if lba >= b.sectors || lba < 0 {
-		lba = 0
+		lba = (lba%b.sectors + b.sectors) % b.sectors
 	}
-	scan := func(from, to int64) (Run, bool) {
-		for i := from; i < to; {
-			w := b.words[i/64]
-			if w == ^uint64(0) {
-				i = (i/64 + 1) * 64 // skip full word
-				continue
-			}
-			if w&(1<<uint(i%64)) == 0 {
-				run := Run{LBA: i, Count: 0}
-				for i < to && run.Count < maxCount && b.words[i/64]&(1<<uint(i%64)) == 0 {
-					run.Count++
-					i++
-				}
-				return run, true
-			}
-			i++
-		}
-		return Run{}, false
-	}
-	if r, ok := scan(lba, b.sectors); ok {
+	if r, ok := b.scanUnfilled(lba, b.sectors, maxCount); ok {
 		return r, true
 	}
-	return scan(0, lba)
+	return b.scanUnfilled(0, lba, maxCount)
+}
+
+// scanUnfilled returns the first unfilled run in [from, to), capped at
+// maxCount sectors. Filled stretches are skipped hierarchically: first to
+// the end of the current word, then whole summary words at a time.
+func (b *Bitmap) scanUnfilled(from, to, maxCount int64) (Run, bool) {
+	i := from
+	for i < to {
+		w := i / 64
+		// Unfilled sectors of the current word at or above i, as set bits.
+		open := ^b.words[w] &^ (uint64(1)<<uint(i%64) - 1)
+		if open == 0 {
+			// The rest of this word is filled: hop via the summary to the
+			// next word with a clear bit. Summary bits for words past the
+			// end of the bitmap are zero ("not full"), so the hop can land
+			// past the last word; the outer i < to check catches that.
+			w++
+			s := w / 64
+			notFull := ^b.summary[s] &^ (uint64(1)<<uint(w%64) - 1)
+			for notFull == 0 {
+				s++
+				if s >= int64(len(b.summary)) {
+					return Run{}, false // everything up to the last word is full
+				}
+				notFull = ^b.summary[s]
+			}
+			i = (s*64 + int64(bits.TrailingZeros64(notFull))) * 64
+			continue
+		}
+		i = w*64 + int64(bits.TrailingZeros64(open))
+		if i >= to {
+			return Run{}, false
+		}
+		// Found the run start; extend to the first filled sector, the scan
+		// end, or the cap, a word at a time.
+		run := Run{LBA: i}
+		for i < to && run.Count < maxCount {
+			rest := b.words[i/64] >> uint(i%64)
+			zeros := 64 - i%64 // unfilled sectors at/after i in this word
+			if rest != 0 {
+				zeros = int64(bits.TrailingZeros64(rest))
+			}
+			if zeros == 0 {
+				break
+			}
+			take := zeros
+			if rem := to - i; take > rem {
+				take = rem
+			}
+			if rem := maxCount - run.Count; take > rem {
+				take = rem
+			}
+			run.Count += take
+			i += take
+			if take == zeros && rest != 0 {
+				break // the run ended at a filled sector
+			}
+		}
+		return run, true
+	}
+	return Run{}, false
+}
+
+// Cursor is a per-caller scan position for sweeping a bitmap with repeated
+// NextUnfilled calls: each scan resumes where the previous run ended, so
+// independent sweepers (the background copier, a prefetcher) do not perturb
+// each other's progress.
+type Cursor struct {
+	pos int64
+}
+
+// Pos reports the cursor's current scan position.
+func (c *Cursor) Pos() int64 { return c.pos }
+
+// Reset moves the cursor back to sector 0.
+func (c *Cursor) Reset() { c.pos = 0 }
+
+// NextUnfilledFrom finds the next unfilled run at or after the cursor
+// (wrapping like NextUnfilled) and advances the cursor past it.
+func (b *Bitmap) NextUnfilledFrom(c *Cursor, maxCount int64) (Run, bool) {
+	r, ok := b.NextUnfilled(c.pos, maxCount)
+	if ok {
+		c.pos = r.End()
+	}
+	return r, ok
 }
 
 // Marshal serializes the bitmap for on-disk persistence: the VMM saves it
@@ -168,8 +280,9 @@ func UnmarshalBitmap(data []byte) (*Bitmap, error) {
 	for i := range b.words {
 		w := getU64(data[16+i*8:])
 		b.words[i] = w
-		for ; w != 0; w &= w - 1 {
-			recount++
+		recount += int64(bits.OnesCount64(w))
+		if w == ^uint64(0) {
+			b.summary[i/64] |= 1 << uint(i%64)
 		}
 	}
 	if recount != filled {

@@ -86,6 +86,157 @@ func TestNextUnfilledComplete(t *testing.T) {
 	}
 }
 
+func TestNextUnfilledLastSector(t *testing.T) {
+	// Only the very last sector is unfilled, in a bitmap whose tail word is
+	// partial; scans from anywhere must land on it.
+	b := NewBitmap(1000)
+	b.MarkFilled(0, 999)
+	for _, from := range []int64{0, 63, 64, 512, 998, 999} {
+		r, ok := b.NextUnfilled(from, 8)
+		if !ok || r != (Run{LBA: 999, Count: 1}) {
+			t.Fatalf("NextUnfilled(%d) = %v, %v; want {999 1}", from, r, ok)
+		}
+	}
+}
+
+func TestNextUnfilledFullWordBoundary(t *testing.T) {
+	// The unfilled run starts exactly at a word boundary after a stretch of
+	// completely filled words (the summary fast path), and another ends
+	// exactly at a word boundary.
+	b := NewBitmap(64 * 10)
+	b.MarkFilled(0, 64*4)     // words 0-3 full
+	b.MarkFilled(64*5, 64)    // word 5 full
+	r, ok := b.NextUnfilled(0, 1000)
+	if !ok || r != (Run{LBA: 64 * 4, Count: 64}) {
+		t.Fatalf("NextUnfilled(0) = %v, %v; want {256 64}", r, ok)
+	}
+	r, ok = b.NextUnfilled(64*5, 1000)
+	if !ok || r != (Run{LBA: 64 * 6, Count: 64 * 4}) {
+		t.Fatalf("NextUnfilled(320) = %v, %v; want {384 256}", r, ok)
+	}
+}
+
+func TestNextUnfilledSingleBit(t *testing.T) {
+	// A single unfilled bit in the middle of an otherwise full bitmap.
+	b := NewBitmap(64 * 100)
+	b.MarkFilled(0, b.Sectors())
+	// Poke one bit clear through a fresh bitmap with the same shape.
+	b = NewBitmap(64 * 100)
+	b.MarkFilled(0, 3000)
+	b.MarkFilled(3001, b.Sectors()-3001)
+	for _, from := range []int64{0, 2999, 3000, 3001, 6000} {
+		r, ok := b.NextUnfilled(from, 64)
+		if !ok || r != (Run{LBA: 3000, Count: 1}) {
+			t.Fatalf("NextUnfilled(%d) = %v, %v; want {3000 1}", from, r, ok)
+		}
+	}
+}
+
+func TestNextUnfilledOutOfRangeWrap(t *testing.T) {
+	// Out-of-range positions normalize by modular wrap — deterministically,
+	// and visibly via the returned run — instead of silently restarting at 0.
+	b := NewBitmap(100)
+	b.MarkFilled(0, 50)
+	cases := []struct {
+		lba  int64
+		want Run
+	}{
+		{100, Run{50, 10}},  // == sectors → 0 → first unfilled is 50
+		{175, Run{75, 10}},  // wraps to 75
+		{-25, Run{75, 10}},  // negative wraps from the end
+		{-100, Run{50, 10}}, // -100 → 0
+	}
+	for _, c := range cases {
+		r, ok := b.NextUnfilled(c.lba, 10)
+		if !ok || r != c.want {
+			t.Fatalf("NextUnfilled(%d) = %v, %v; want %v", c.lba, r, ok, c.want)
+		}
+	}
+}
+
+func TestBitmapCursor(t *testing.T) {
+	b := NewBitmap(200)
+	b.MarkFilled(0, 100)
+	var c Cursor
+	r, ok := b.NextUnfilledFrom(&c, 30)
+	if !ok || r != (Run{100, 30}) || c.Pos() != 130 {
+		t.Fatalf("first = %v, %v, pos %d", r, ok, c.Pos())
+	}
+	r, ok = b.NextUnfilledFrom(&c, 100)
+	if !ok || r != (Run{130, 70}) || c.Pos() != 200 {
+		t.Fatalf("second = %v, %v, pos %d", r, ok, c.Pos())
+	}
+	// Cursor at the end wraps like NextUnfilled does.
+	b2 := NewBitmap(200)
+	b2.MarkFilled(100, 100)
+	c = Cursor{pos: 200}
+	r, ok = b2.NextUnfilledFrom(&c, 64)
+	if !ok || r != (Run{0, 64}) {
+		t.Fatalf("wrapped = %v, %v", r, ok)
+	}
+	c.Reset()
+	if c.Pos() != 0 {
+		t.Fatal("Reset did not zero the cursor")
+	}
+}
+
+// TestNextUnfilledMatchesReference checks that the hierarchical scan emits
+// byte-identical runs to a straightforward per-bit reference scan.
+func TestNextUnfilledMatchesReference(t *testing.T) {
+	const n = 64*5 + 17 // partial tail word
+	ref := func(words []bool, lba, maxCount int64) (Run, bool) {
+		scan := func(from, to int64) (Run, bool) {
+			for i := from; i < to; i++ {
+				if !words[i] {
+					r := Run{LBA: i}
+					for i < to && r.Count < maxCount && !words[i] {
+						r.Count++
+						i++
+					}
+					return r, true
+				}
+			}
+			return Run{}, false
+		}
+		if r, ok := scan(lba, n); ok {
+			return r, true
+		}
+		return scan(0, lba)
+	}
+	f := func(ops []uint16, probes []uint16) bool {
+		b := NewBitmap(n)
+		bits := make([]bool, n)
+		for _, op := range ops {
+			lba := int64(op) % n
+			count := int64(op)/n%70 + 1
+			if lba+count > n {
+				count = n - lba
+			}
+			b.MarkFilled(lba, count)
+			for i := lba; i < lba+count; i++ {
+				bits[i] = true
+			}
+		}
+		if b.Complete() {
+			return true
+		}
+		for _, pr := range probes {
+			lba := int64(pr) % n
+			maxCount := int64(pr)%100 + 1
+			got, gok := b.NextUnfilled(lba, maxCount)
+			want, wok := ref(bits, lba, maxCount)
+			if gok != wok || got != want {
+				t.Logf("NextUnfilled(%d,%d) = %v,%v; reference %v,%v", lba, maxCount, got, gok, want, wok)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMarshalRoundTrip(t *testing.T) {
 	b := NewBitmap(1000)
 	b.MarkFilled(3, 100)

@@ -486,7 +486,7 @@ func (v *VMM) Protected(lba, count int64) bool {
 // retriever fetches unfilled blocks from the server and feeds the FIFO
 // (§3.3: a retriever thread and a writer thread connected by a queue).
 func (v *VMM) retriever(p *sim.Proc) {
-	cursor := int64(0)
+	var cursor Cursor
 	for v.phase == PhaseDeployment && !v.stopped {
 		if v.fifo.Len() >= v.Cfg.FIFODepth {
 			// Back off while the writer drains; never sleep zero (a
@@ -501,10 +501,10 @@ func (v *VMM) retriever(p *sim.Proc) {
 		// Locality heuristic: follow the guest's last access to minimize
 		// seeks between guest I/O and the background copy.
 		if v.guestTouched {
-			cursor = v.lastGuestLBA
+			cursor = Cursor{pos: v.lastGuestLBA}
 			v.guestTouched = false
 		}
-		run, ok := v.nextCopyRun(cursor)
+		run, ok := v.nextCopyRun(&cursor)
 		if !ok {
 			if len(v.inflight) > 0 {
 				// Everything left is already in the FIFO; let the
@@ -518,7 +518,6 @@ func (v *VMM) retriever(p *sim.Proc) {
 			}
 			break // image complete
 		}
-		cursor = run.End()
 		sp := v.M.Trace.Begin(v.M.Name, "vmm", "bg-fetch",
 			trace.Int("lba", run.LBA), trace.Int("count", run.Count))
 		pl, err := v.Fetch(p, run.LBA, run.Count)
@@ -541,10 +540,11 @@ func (v *VMM) retriever(p *sim.Proc) {
 }
 
 // nextCopyRun finds the next unfilled run not already fetched into the
-// FIFO, scanning past in-flight blocks.
-func (v *VMM) nextCopyRun(cursor int64) (Run, bool) {
+// FIFO, scanning past in-flight blocks. The cursor advances past every run
+// examined, so the next call resumes where this one left off.
+func (v *VMM) nextCopyRun(cursor *Cursor) (Run, bool) {
 	for tries := 0; tries < v.Cfg.FIFODepth+2; tries++ {
-		run, ok := v.bitmap.NextUnfilled(cursor, v.Cfg.CopyBlockSectors)
+		run, ok := v.bitmap.NextUnfilledFrom(cursor, v.Cfg.CopyBlockSectors)
 		if !ok {
 			return Run{}, false
 		}
@@ -558,7 +558,6 @@ func (v *VMM) nextCopyRun(cursor int64) (Run, bool) {
 		if !overlap {
 			return run, true
 		}
-		cursor = run.End()
 	}
 	return Run{}, false
 }

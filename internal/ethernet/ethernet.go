@@ -26,11 +26,54 @@ const HeaderSize = 18
 // Frame is a link-layer frame. Payload carries the upper-layer message by
 // reference; Size is the wire size in bytes including headers, which drives
 // serialization timing and MTU checks.
+//
+// Frames may be pooled: a sender that recycles frames calls InitRef before
+// transmitting, and every hop that consumes a reference (drop on a faulty
+// link, MAC filter, final receiver) calls Release. Duplication and switch
+// flooding Retain extra references, so a frame returns to its owner exactly
+// once, after the last copy is consumed. Frames that never call InitRef are
+// unmanaged: Retain/Release are no-ops and the collector reclaims them.
 type Frame struct {
 	Src, Dst  MAC
 	EtherType uint16
 	Payload   any
 	Size      int64
+
+	owner FrameOwner
+	refs  int32
+}
+
+// FrameOwner recycles frames whose reference count reaches zero.
+type FrameOwner interface{ ReleaseFrame(f *Frame) }
+
+// InitRef marks the frame as owned with a single outstanding reference.
+// The sender calls it immediately before handing the frame to the wire.
+func (f *Frame) InitRef(owner FrameOwner) { f.owner, f.refs = owner, 1 }
+
+// Retain adds a reference to a managed frame (no-op when unmanaged).
+func (f *Frame) Retain() {
+	if f.owner != nil {
+		f.refs++
+	}
+}
+
+// Release drops one reference; the last release returns the frame to its
+// owner. Callers must not touch the frame afterwards. Safe on nil and on
+// unmanaged frames.
+func (f *Frame) Release() {
+	if f == nil || f.owner == nil {
+		return
+	}
+	f.refs--
+	if f.refs > 0 {
+		return
+	}
+	if f.refs < 0 {
+		panic("ethernet: frame released more times than retained")
+	}
+	o := f.owner
+	f.owner = nil
+	o.ReleaseFrame(f)
 }
 
 // Port receives frames from the segment.
@@ -87,12 +130,44 @@ type direction struct {
 	p         LinkParams
 	f         FaultParams
 	busyUntil sim.Time
+	free      []*delivery // recycled delivery records
 	dropped   metrics.Counter
 	delivered metrics.Counter
 	bytes     metrics.Counter // bytes serialized (delivered frames only)
 	corrupted metrics.Counter // frames discarded by the receiver FCS check
 	dups      metrics.Counter // frames delivered twice
 	reordered metrics.Counter // frames held back past their slot
+}
+
+// delivery is one scheduled frame arrival. Records recycle through the
+// direction's free list so the per-frame `port.Deliver(f)` event costs no
+// allocation; fire returns the record to the list before delivering, so a
+// delivery that triggers further sends can reuse it immediately.
+type delivery struct {
+	d    *direction
+	port Port
+	f    *Frame
+	fire func()
+}
+
+// deliverAt schedules f's arrival at port at instant t using a recycled
+// delivery record.
+func (d *direction) deliverAt(t sim.Time, port Port, f *Frame) {
+	var rec *delivery
+	if n := len(d.free); n > 0 {
+		rec = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		rec = &delivery{d: d}
+		rec.fire = func() {
+			port, f := rec.port, rec.f
+			rec.port, rec.f = nil, nil
+			rec.d.free = append(rec.d.free, rec)
+			port.Deliver(f)
+		}
+	}
+	rec.port, rec.f = port, f
+	d.k.At(t, rec.fire)
 }
 
 // transmit schedules delivery of f to port after serialization and
@@ -104,6 +179,7 @@ func (d *direction) transmit(f *Frame, port Port) sim.Time {
 	}
 	if d.f.Down {
 		d.dropped.Inc()
+		f.Release()
 		return d.k.Now()
 	}
 	start := d.k.Now()
@@ -115,6 +191,7 @@ func (d *direction) transmit(f *Frame, port Port) sim.Time {
 	d.busyUntil = done
 	if d.p.LossRate > 0 && d.k.Rand().Float64() < d.p.LossRate {
 		d.dropped.Inc()
+		f.Release()
 		return done
 	}
 	arrival := done.Add(d.p.Propagation)
@@ -122,6 +199,7 @@ func (d *direction) transmit(f *Frame, port Port) sim.Time {
 		// The frame occupies the wire but fails the FCS check on arrival;
 		// nothing is delivered.
 		d.corrupted.Inc()
+		f.Release()
 		return done
 	}
 	if d.f.ReorderRate > 0 && d.k.Rand().Float64() < d.f.ReorderRate {
@@ -131,10 +209,11 @@ func (d *direction) transmit(f *Frame, port Port) sim.Time {
 	}
 	d.delivered.Inc()
 	d.bytes.Add(f.Size)
-	d.k.At(arrival, func() { port.Deliver(f) })
+	d.deliverAt(arrival, port, f)
 	if d.f.DuplicateRate > 0 && d.k.Rand().Float64() < d.f.DuplicateRate {
 		d.dups.Inc()
-		d.k.At(arrival.Add(d.p.Propagation), func() { port.Deliver(f) })
+		f.Retain() // the second copy is an extra reference for the receiver
+		d.deliverAt(arrival.Add(d.p.Propagation), port, f)
 	}
 	return done
 }
@@ -322,25 +401,70 @@ func (s *Switch) Connect(p LinkParams) *Link {
 type switchPort struct {
 	sw   *Switch
 	link *Link
+	free []*forward // recycled forward records
+}
+
+// forward is one frame queued through the switch's forwarding latency.
+// Records recycle through the ingress port's free list so store-and-forward
+// costs no allocation per frame.
+type forward struct {
+	sp   *switchPort
+	f    *Frame
+	fire func()
 }
 
 // Deliver handles a frame arriving at the switch from link.
 func (sp *switchPort) Deliver(f *Frame) {
+	sp.sw.table[f.Src] = sp.link // learn
+	var rec *forward
+	if n := len(sp.free); n > 0 {
+		rec = sp.free[n-1]
+		sp.free = sp.free[:n-1]
+	} else {
+		rec = &forward{sp: sp}
+		rec.fire = func() {
+			f := rec.f
+			rec.f = nil
+			rec.sp.free = append(rec.sp.free, rec)
+			rec.sp.forward(f)
+		}
+	}
+	rec.f = f
+	sp.sw.k.After(sp.sw.latency, rec.fire)
+}
+
+// forward sends f out the learned port, or floods it. Each SendFromB
+// consumes one frame reference, so flooding to n egress ports retains n-1
+// extra; a frame with no egress (hairpin to its ingress port, or a
+// single-link switch) is released here.
+func (sp *switchPort) forward(f *Frame) {
 	sw := sp.sw
-	sw.table[f.Src] = sp.link // learn
-	sw.k.After(sw.latency, func() {
-		if f.Dst != Broadcast {
-			if out, ok := sw.table[f.Dst]; ok {
-				if out != sp.link {
-					out.SendFromB(f)
-				}
-				return
+	if f.Dst != Broadcast {
+		if out, ok := sw.table[f.Dst]; ok {
+			if out != sp.link {
+				out.SendFromB(f)
+			} else {
+				f.Release()
 			}
+			return
 		}
-		for _, l := range sw.links { // flood
-			if l != sp.link {
-				l.SendFromB(f)
-			}
+	}
+	n := 0
+	for _, l := range sw.links { // flood
+		if l != sp.link {
+			n++
 		}
-	})
+	}
+	if n == 0 {
+		f.Release()
+		return
+	}
+	for i := 1; i < n; i++ {
+		f.Retain()
+	}
+	for _, l := range sw.links {
+		if l != sp.link {
+			l.SendFromB(f)
+		}
+	}
 }

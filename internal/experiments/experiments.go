@@ -33,6 +33,8 @@ type Options struct {
 	// MPIIterations / RDMAIterations bound the network microbenchmarks.
 	MPIIterations  int
 	RDMAIterations int
+	// FleetInstances sizes the fleet fast-path cell (<= 0 means 256).
+	FleetInstances int
 }
 
 // Default returns paper-scale options.
@@ -44,6 +46,7 @@ func Default() Options {
 		DBSeconds:        120 * sim.Second,
 		MPIIterations:    100,
 		RDMAIterations:   1000,
+		FleetInstances:   256,
 	}
 }
 
@@ -55,6 +58,7 @@ func Quick() Options {
 	o.DBSeconds = 30 * sim.Second
 	o.MPIIterations = 20
 	o.RDMAIterations = 200
+	o.FleetInstances = 16
 	return o
 }
 
@@ -80,6 +84,7 @@ func Registry() []Runner {
 		{"fig13", "InfiniBand RDMA latency", Fig13},
 		{"fig14", "Background-copy moderation sweep", Fig14},
 		{"scale", "Scale-up: N simultaneous instances, BMcast vs image copy (§5.1 claim)", Scale},
+		{"fleet", "Fleet fast path: 256 instances from one vblade, serving cache on/off", Fleet},
 	}
 }
 

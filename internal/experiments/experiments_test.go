@@ -15,6 +15,7 @@ func tiny() Options {
 		DBSeconds:        5 * sim.Second,
 		MPIIterations:    3,
 		RDMAIterations:   20,
+		FleetInstances:   4,
 	}
 }
 
@@ -24,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		ids[r.ID] = true
 	}
 	for _, want := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "scale"} {
+		"fig10", "fig11", "fig12", "fig13", "fig14", "scale", "fleet"} {
 		if !ids[want] {
 			t.Fatalf("registry missing %s", want)
 		}
@@ -76,6 +77,24 @@ func TestFig13Ordering(t *testing.T) {
 	}
 	if rows[2][2] != "+0.0%" {
 		t.Fatalf("Devirt shows overhead: %v", rows[2])
+	}
+}
+
+// TestFleetCacheHitRate pins the fleet fast path's core claim at reduced
+// scale: instances booting the same image share one working set, so the
+// serving cache absorbs all but the first read of each extent.
+func TestFleetCacheHitRate(t *testing.T) {
+	opt := tiny()
+	opt.FleetInstances = 16
+	r, err := FleetRun(opt, opt.FleetInstances, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HitRate <= 0.9 {
+		t.Fatalf("fleet cache hit rate = %.4f, want > 0.9", r.HitRate)
+	}
+	if r.Served == 0 || r.Elapsed <= 0 || r.Worst <= 0 {
+		t.Fatalf("implausible fleet result: %+v", r)
 	}
 }
 

@@ -124,6 +124,7 @@ type HBA struct {
 
 	issueOrder []int // FIFO of issued slots awaiting the engine
 	execReady  *sim.Signal
+	dmaScratch []byte // reusable buffer for scatterPRD materialization
 
 	// DMA content hints keyed by buffer address (see SetNextDMA).
 	hints map[int64]dmaHint
@@ -285,7 +286,8 @@ type CmdHeader struct {
 
 // ReadCmdHeader decodes slot's header from the command list at clb.
 func ReadCmdHeader(m *mem.Memory, clb uint64, slot int) CmdHeader {
-	b := m.Read(int64(clb)+int64(slot)*CmdHeaderSize, CmdHeaderSize)
+	var b [CmdHeaderSize]byte
+	m.ReadInto(int64(clb)+int64(slot)*CmdHeaderSize, b[:])
 	dw0 := binary.LittleEndian.Uint32(b[0:])
 	return CmdHeader{
 		FISLen: int(dw0 & 0x1F),
@@ -298,7 +300,7 @@ func ReadCmdHeader(m *mem.Memory, clb uint64, slot int) CmdHeader {
 
 // WriteCmdHeader encodes a header into the command list.
 func WriteCmdHeader(m *mem.Memory, clb uint64, slot int, hd CmdHeader) {
-	b := make([]byte, CmdHeaderSize)
+	var b [CmdHeaderSize]byte
 	dw0 := uint32(hd.FISLen&0x1F) | uint32(hd.PRDTL)<<16
 	if hd.Write {
 		dw0 |= 1 << 6
@@ -307,7 +309,7 @@ func WriteCmdHeader(m *mem.Memory, clb uint64, slot int, hd CmdHeader) {
 	binary.LittleEndian.PutUint32(b[4:], hd.PRDBC)
 	binary.LittleEndian.PutUint32(b[8:], uint32(hd.CTBA))
 	binary.LittleEndian.PutUint32(b[12:], uint32(hd.CTBA>>32))
-	m.Write(int64(clb)+int64(slot)*CmdHeaderSize, b)
+	m.Write(int64(clb)+int64(slot)*CmdHeaderSize, b[:])
 }
 
 // FIS is the decoded Register H2D FIS.
@@ -319,7 +321,8 @@ type FIS struct {
 
 // ReadFIS decodes the command FIS from a command table.
 func ReadFIS(m *mem.Memory, ctba uint64) (FIS, error) {
-	b := m.Read(int64(ctba)+CmdTableFIS, 20)
+	var b [20]byte
+	m.ReadInto(int64(ctba)+CmdTableFIS, b[:])
 	if b[0] != FISRegH2D {
 		return FIS{}, fmt.Errorf("ahci: not a Register H2D FIS: %#x", b[0])
 	}
@@ -335,7 +338,7 @@ func ReadFIS(m *mem.Memory, ctba uint64) (FIS, error) {
 
 // WriteFIS encodes a Register H2D FIS into a command table.
 func WriteFIS(m *mem.Memory, ctba uint64, f FIS) {
-	b := make([]byte, 20)
+	var b [20]byte
 	b[0] = FISRegH2D
 	b[1] = 1 << 7 // C bit: command register update
 	b[2] = f.Command
@@ -343,7 +346,7 @@ func WriteFIS(m *mem.Memory, ctba uint64, f FIS) {
 	b[7] = 1 << 6 // LBA mode
 	b[8], b[9], b[10] = byte(f.LBA>>24), byte(f.LBA>>32), byte(f.LBA>>40)
 	b[12], b[13] = byte(f.Count), byte(f.Count>>8)
-	m.Write(int64(ctba)+CmdTableFIS, b)
+	m.Write(int64(ctba)+CmdTableFIS, b[:])
 }
 
 // PRD is one decoded PRDT entry.
@@ -356,22 +359,30 @@ type PRD struct {
 func ReadPRDT(m *mem.Memory, ctba uint64, n int) []PRD {
 	out := make([]PRD, 0, n)
 	for i := 0; i < n; i++ {
-		b := m.Read(int64(ctba)+CmdTablePRDT+int64(i)*PRDTEntrySize, PRDTEntrySize)
-		addr := int64(binary.LittleEndian.Uint32(b[0:])) | int64(binary.LittleEndian.Uint32(b[4:]))<<32
-		dbc := int64(binary.LittleEndian.Uint32(b[12:])&0x3FFFFF) + 1 // 0-based
-		out = append(out, PRD{Addr: addr, Bytes: dbc})
+		out = append(out, ReadPRD(m, ctba, i))
 	}
 	return out
+}
+
+// ReadPRD decodes the i'th PRDT entry from a command table without
+// allocating — the hot paths walk entries one at a time instead of
+// materializing the whole table.
+func ReadPRD(m *mem.Memory, ctba uint64, i int) PRD {
+	var b [PRDTEntrySize]byte
+	m.ReadInto(int64(ctba)+CmdTablePRDT+int64(i)*PRDTEntrySize, b[:])
+	addr := int64(binary.LittleEndian.Uint32(b[0:])) | int64(binary.LittleEndian.Uint32(b[4:]))<<32
+	dbc := int64(binary.LittleEndian.Uint32(b[12:])&0x3FFFFF) + 1 // 0-based
+	return PRD{Addr: addr, Bytes: dbc}
 }
 
 // WritePRDT encodes PRDT entries into a command table.
 func WritePRDT(m *mem.Memory, ctba uint64, prds []PRD) {
 	for i, pe := range prds {
-		b := make([]byte, PRDTEntrySize)
+		var b [PRDTEntrySize]byte
 		binary.LittleEndian.PutUint32(b[0:], uint32(pe.Addr))
 		binary.LittleEndian.PutUint32(b[4:], uint32(pe.Addr>>32))
 		binary.LittleEndian.PutUint32(b[12:], uint32(pe.Bytes-1)&0x3FFFFF)
-		m.Write(int64(ctba)+CmdTablePRDT+int64(i)*PRDTEntrySize, b)
+		m.Write(int64(ctba)+CmdTablePRDT+int64(i)*PRDTEntrySize, b[:])
 	}
 }
 
@@ -405,7 +416,8 @@ func (h *HBA) engine(p *sim.Proc) {
 	for {
 		p.WaitCond(h.execReady, func() bool { return len(h.issueOrder) > 0 })
 		slot := h.issueOrder[0]
-		h.issueOrder = h.issueOrder[1:]
+		n := copy(h.issueOrder, h.issueOrder[1:])
+		h.issueOrder = h.issueOrder[:n] // shift in place; keep the backing array
 		h.execute(p, slot)
 	}
 }
@@ -421,8 +433,8 @@ func (h *HBA) execute(p *sim.Proc, slot int) {
 	h.tfd |= TFDBusy
 	var hintSrc disk.SectorSource
 	var discard bool
-	if prds := ReadPRDT(h.memory, hd.CTBA, hd.PRDTL); len(prds) > 0 {
-		hintSrc, discard, _ = h.TakeHintAt(prds[0].Addr)
+	if hd.PRDTL > 0 {
+		hintSrc, discard, _ = h.TakeHintAt(ReadPRD(h.memory, hd.CTBA, 0).Addr)
 	}
 
 	switch fis.Command {
@@ -431,8 +443,8 @@ func (h *HBA) execute(p *sim.Proc, slot int) {
 	case CmdIdentify:
 		p.Sleep(100 * sim.Microsecond)
 		// Identify data DMA'd to the first PRD buffer.
-		if prds := ReadPRDT(h.memory, hd.CTBA, hd.PRDTL); len(prds) > 0 {
-			h.memory.Write(prds[0].Addr, h.identifyData())
+		if hd.PRDTL > 0 {
+			h.memory.Write(ReadPRD(h.memory, hd.CTBA, 0).Addr, h.identifyData())
 		}
 	case CmdReadDMAExt, CmdWriteDMAExt:
 		if fis.LBA < 0 || fis.LBA+fis.Count > h.drive.Sectors {
@@ -494,12 +506,15 @@ func (h *HBA) identifyData() []byte {
 func (h *HBA) gatherPRD(hd CmdHeader, fis FIS) disk.SectorSource {
 	want := fis.Count * disk.SectorSize
 	buf := make([]byte, 0, want)
-	for _, pe := range ReadPRDT(h.memory, hd.CTBA, hd.PRDTL) {
+	for i := 0; i < hd.PRDTL; i++ {
+		pe := ReadPRD(h.memory, hd.CTBA, i)
 		take := pe.Bytes
 		if rem := want - int64(len(buf)); take > rem {
 			take = rem
 		}
-		buf = append(buf, h.memory.Read(pe.Addr, take)...)
+		n := len(buf)
+		buf = buf[:n+int(take)]
+		h.memory.ReadInto(pe.Addr, buf[n:])
 		if int64(len(buf)) >= want {
 			break
 		}
@@ -511,8 +526,10 @@ func (h *HBA) gatherPRD(hd CmdHeader, fis FIS) disk.SectorSource {
 }
 
 func (h *HBA) scatterPRD(hd CmdHeader, pl disk.Payload) {
-	data := pl.Bytes()
-	for _, pe := range ReadPRDT(h.memory, hd.CTBA, hd.PRDTL) {
+	data := pl.AppendTo(h.dmaScratch[:0])
+	h.dmaScratch = data[:0]
+	for i := 0; i < hd.PRDTL; i++ {
+		pe := ReadPRD(h.memory, hd.CTBA, i)
 		take := pe.Bytes
 		if rem := int64(len(data)); take > rem {
 			take = rem

@@ -77,9 +77,16 @@ func (m *Memory) Write(addr int64, data []byte) {
 
 // Read copies n bytes starting at addr into a fresh slice.
 func (m *Memory) Read(addr, n int64) []byte {
-	m.check(addr, n)
 	out := make([]byte, n)
-	buf := out
+	m.ReadInto(addr, out)
+	return out
+}
+
+// ReadInto fills buf with the bytes starting at addr. It is the
+// allocation-free variant of Read for hot paths whose callers own a
+// reusable (often stack) buffer.
+func (m *Memory) ReadInto(addr int64, buf []byte) {
+	m.check(addr, int64(len(buf)))
 	for len(buf) > 0 {
 		page := addr / PageSize
 		off := addr % PageSize
@@ -98,7 +105,6 @@ func (m *Memory) Read(addr, n int64) []byte {
 		buf = buf[c:]
 		addr += int64(c)
 	}
-	return out
 }
 
 // Reserve carves a region of the given size from the top of usable memory,

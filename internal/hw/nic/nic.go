@@ -63,10 +63,13 @@ func New(k *sim.Kernel, name string, model Model, mac ethernet.MAC, link *ethern
 	return n
 }
 
-// Deliver implements ethernet.Port: frames arriving from the link.
+// Deliver implements ethernet.Port: frames arriving from the link. The
+// frame reference passes to the receive callback or the rx queue consumer;
+// filtered frames are released here.
 func (n *NIC) Deliver(f *ethernet.Frame) {
 	if !n.Promiscuous && f.Dst != n.MAC && f.Dst != ethernet.Broadcast {
 		n.Filtered.Inc()
+		f.Release()
 		return
 	}
 	n.RxFrames.Inc()

@@ -230,6 +230,7 @@ func (r *RingNIC) processTx() {
 func (r *RingNIC) hwReceive(f *ethernet.Frame) {
 	if r.ctrl&CtrlEnable == 0 || r.rdlen == 0 || r.rdh == r.rdt {
 		r.RxDropped++
+		f.Release()
 		return
 	}
 	addr, _ := r.readDesc(r.rdba, r.rdh)

@@ -60,6 +60,14 @@ type AHCI struct {
 	dummyLBA  int64
 	devLock   *sim.Resource
 
+	// Pre-built spawn names and reusable scratch for the redirect path,
+	// which runs once per intercepted guest read and must not allocate
+	// per command.
+	redirName   string
+	protectName string
+	parts       []disk.Payload
+	dmaBuf      []byte
+
 	// VirtualIRQ selects the rejected design alternative for the
 	// ablation benchmark: inject completion interrupts from the VMM
 	// instead of the dummy-sector restart. The mediator must then also
@@ -80,12 +88,14 @@ func NewAHCI(m *machine.Machine, backend Backend, vmmRegion mem.Region) *AHCI {
 		panic("mediator: machine has no AHCI controller")
 	}
 	return &AHCI{
-		m:         m,
-		hba:       m.AHCI,
-		backend:   backend,
-		vmmRegion: vmmRegion,
-		dummyLBA:  m.Disk.Sectors - 1,
-		devLock:   sim.NewResource(m.K, m.Name+".med.dev", 1),
+		m:           m,
+		hba:         m.AHCI,
+		backend:     backend,
+		vmmRegion:   vmmRegion,
+		dummyLBA:    m.Disk.Sectors - 1,
+		devLock:     sim.NewResource(m.K, m.Name+".med.dev", 1),
+		redirName:   m.AHCI.Name + ".med.redirect",
+		protectName: m.AHCI.Name + ".med.protect",
 	}
 }
 
@@ -192,8 +202,8 @@ func (md *AHCI) interpret(slot int) ahciCommand {
 	hd := ahci.ReadCmdHeader(md.m.Mem, md.shCLB, slot)
 	cmd := ahciCommand{slot: slot, ctba: hd.CTBA, prdtl: hd.PRDTL}
 	// Data information: the guest DMA buffer from the first PRDT entry.
-	if prds := ahci.ReadPRDT(md.m.Mem, hd.CTBA, hd.PRDTL); len(prds) > 0 {
-		cmd.bufAddr = prds[0].Addr
+	if hd.PRDTL > 0 {
+		cmd.bufAddr = ahci.ReadPRD(md.m.Mem, hd.CTBA, 0).Addr
 	}
 	fis, err := ahci.ReadFIS(md.m.Mem, hd.CTBA)
 	if err != nil {
@@ -221,7 +231,7 @@ func (md *AHCI) dispatch(cmd ahciCommand) bool {
 	if md.backend.Protected(cmd.lba, cmd.count) {
 		md.stats.ProtectedHits.Inc()
 		md.redirCI |= 1 << cmd.slot
-		md.m.K.Spawn(md.hba.Name+".med.protect", func(p *sim.Proc) { md.protectAccess(p, cmd) })
+		md.m.K.Spawn(md.protectName, func(p *sim.Proc) { md.protectAccess(p, cmd) })
 		return true
 	}
 	if cmd.write {
@@ -238,7 +248,7 @@ func (md *AHCI) dispatch(cmd ahciCommand) bool {
 	}
 	md.stats.Redirects.Inc()
 	md.redirCI |= 1 << cmd.slot
-	md.m.K.Spawn(md.hba.Name+".med.redirect", func(p *sim.Proc) { md.redirect(p, cmd) })
+	md.m.K.Spawn(md.redirName, func(p *sim.Proc) { md.redirect(p, cmd) })
 	return true
 }
 
@@ -329,13 +339,17 @@ func (md *AHCI) vmmSlotOp(p *sim.Proc, write bool, payload disk.Payload, keepIRQ
 
 // redirect performs copy-on-read for one intercepted guest read slot.
 func (md *AHCI) redirect(p *sim.Proc, cmd ahciCommand) {
-	sp := md.m.Trace.Begin(md.m.Name, "mediator", "redirect",
-		trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	var sp *trace.Span
+	if md.m.Trace != nil { // variadic attrs box; skip entirely when not tracing
+		sp = md.m.Trace.Begin(md.m.Name, "mediator", "redirect",
+			trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	}
 	defer sp.End()
 	md.acquire(p)
 	defer md.release(p)
 
-	parts := make([]disk.Payload, 0, 4)
+	parts := md.parts[:0] // scratch guarded by devLock; one redirect at a time
+	defer func() { md.parts = parts[:0] }()
 	cursor := cmd.lba
 	appendLocal := func(upto int64) {
 		for cursor < upto {
@@ -372,8 +386,11 @@ func (md *AHCI) redirect(p *sim.Proc, cmd ahciCommand) {
 
 // protectAccess hides the VMM's bitmap region from the guest.
 func (md *AHCI) protectAccess(p *sim.Proc, cmd ahciCommand) {
-	sp := md.m.Trace.Begin(md.m.Name, "mediator", "protect",
-		trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	var sp *trace.Span
+	if md.m.Trace != nil {
+		sp = md.m.Trace.Begin(md.m.Name, "mediator", "protect",
+			trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	}
 	defer sp.End()
 	md.acquire(p)
 	defer md.release(p)
@@ -414,11 +431,13 @@ func (md *AHCI) finishSlot(p *sim.Proc, cmd ahciCommand) {
 // copyToGuestPRDT is the virtual-DMA step: scatter assembled data into the
 // guest's PRDT buffers parsed from its command table.
 func (md *AHCI) copyToGuestPRDT(cmd ahciCommand, parts []disk.Payload) {
-	var data []byte
+	data := md.dmaBuf[:0]
 	for _, pl := range parts {
 		data = pl.AppendTo(data)
 	}
-	for _, prd := range ahci.ReadPRDT(md.m.Mem, cmd.ctba, cmd.prdtl) {
+	md.dmaBuf = data[:0] // keep the grown backing array for the next command
+	for i := 0; i < cmd.prdtl; i++ {
+		prd := ahci.ReadPRD(md.m.Mem, cmd.ctba, i)
 		n := prd.Bytes
 		if n > int64(len(data)) {
 			n = int64(len(data))
@@ -433,8 +452,11 @@ func (md *AHCI) copyToGuestPRDT(cmd ahciCommand, parts []disk.Payload) {
 
 // InsertWrite implements Mediator.
 func (md *AHCI) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool) bool {
-	sp := md.m.Trace.Begin(md.m.Name, "mediator", "insert-write",
-		trace.Int("lba", payload.LBA), trace.Int("count", payload.Count))
+	var sp *trace.Span
+	if md.m.Trace != nil {
+		sp = md.m.Trace.Begin(md.m.Name, "mediator", "insert-write",
+			trace.Int("lba", payload.LBA), trace.Int("count", payload.Count))
+	}
 	defer sp.End()
 	md.acquire(p)
 	defer md.release(p)
@@ -449,8 +471,11 @@ func (md *AHCI) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool
 
 // InsertRead implements Mediator.
 func (md *AHCI) InsertRead(p *sim.Proc, lba, count int64) (disk.Payload, bool) {
-	sp := md.m.Trace.Begin(md.m.Name, "mediator", "insert-read",
-		trace.Int("lba", lba), trace.Int("count", count))
+	var sp *trace.Span
+	if md.m.Trace != nil {
+		sp = md.m.Trace.Begin(md.m.Name, "mediator", "insert-read",
+			trace.Int("lba", lba), trace.Int("count", count))
+	}
 	defer sp.End()
 	md.acquire(p)
 	defer md.release(p)

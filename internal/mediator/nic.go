@@ -261,6 +261,7 @@ const aoeEtherType = 0x88A2
 // copyToGuestRx stores a frame into the guest's next free RX descriptor.
 func (md *SharedNIC) copyToGuestRx(f *ethernet.Frame) bool {
 	if md.gCTRL&nic.CtrlEnable == 0 || md.gRDLEN == 0 || md.gRDH == md.gRDT {
+		f.Release()
 		return false // guest has no buffer; drop, as hardware would
 	}
 	addr := nic.ReadDescAddr(md.m.Mem, md.gRDBA, md.gRDH)

@@ -11,12 +11,24 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+
+	// transferFn is the cached resume closure. Sleep, SleepUntil, and the
+	// wait paths run on the hot path of every simulated I/O, so they must
+	// not allocate a fresh closure per call.
+	transferFn func()
+	// pw is the process's reusable waiter record for plain Wait. A parked
+	// process waits on exactly one signal at a time, so one record (reset
+	// before each enqueue) serves every Wait this process ever performs.
+	pw *waiter
+	// tw is the reusable timed-wait state for WaitTimeout, lazily built.
+	tw *timedWaiter
 }
 
 // Spawn starts fn as a new process. The process begins executing at the
 // current simulation time, after already-scheduled events for this instant.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	p.transferFn = func() { p.transfer() }
 	k.procs++
 	k.notifyProc(ProcSpawn, name)
 	go func() {
@@ -29,7 +41,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	k.After(0, func() { p.transfer() })
+	k.After(0, p.transferFn)
 	return p
 }
 
@@ -66,7 +78,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.After(d, func() { p.transfer() })
+	p.k.After(d, p.transferFn)
 	p.park()
 }
 
@@ -77,7 +89,7 @@ func (p *Proc) SleepUntil(t Time) {
 	if t < p.k.now {
 		t = p.k.now
 	}
-	p.k.At(t, func() { p.transfer() })
+	p.k.At(t, p.transferFn)
 	p.park()
 }
 
@@ -100,28 +112,72 @@ func (p *Proc) WaitCond(s *Signal, cond func() bool) {
 	}
 }
 
+// timedWaiter is a process's reusable WaitTimeout state: the waiter record,
+// the signal and deadline of the current round, and the cached timeout
+// callback. The timer event is never canceled — a stale timer recognizes
+// itself by the deadline mismatch (or the done flag) and fires as a no-op,
+// which lets its event record recycle through the kernel's free list.
+type timedWaiter struct {
+	w        *waiter
+	s        *Signal
+	deadline Time
+	fired    bool
+	timeout  func()
+}
+
 // WaitTimeout parks the process until s fires or d elapses. It reports true
 // if the signal fired, false on timeout.
 func (p *Proc) WaitTimeout(s *Signal, d Duration) bool {
-	fired := false
-	w := &waiter{wake: func() {
-		fired = true
-		p.transfer()
-	}}
-	s.addWaiter(w)
-	timer := p.k.After(d, func() {
-		if w.done {
-			return
-		}
-		w.done = true
-		s.remove(w)
-		p.transfer()
-	})
-	p.park()
-	if fired {
-		timer.Cancel()
+	if d < 0 {
+		d = 0
 	}
-	return fired
+	if p.tw == nil {
+		t := &timedWaiter{}
+		t.w = newWaiter(func() {
+			t.fired = true
+			p.transfer()
+		})
+		t.timeout = func() {
+			if t.w.done || p.k.now != t.deadline {
+				return // the wait already completed, or this timer is stale
+			}
+			t.w.done = true
+			t.s.remove(t.w)
+			p.transfer()
+		}
+		p.tw = t
+	}
+	t := p.tw
+	w := t.w
+	if w.inflight > 0 {
+		// A broadcast wakeup for the previous wait is still scheduled (the
+		// timer won that race at the same instant). The record cannot be
+		// reused until it drains, so this rare round pays for a one-shot.
+		fired := false
+		ow := newWaiter(func() {
+			fired = true
+			p.transfer()
+		})
+		s.addWaiter(ow)
+		timer := p.k.After(d, func() {
+			if ow.done {
+				return
+			}
+			ow.done = true
+			s.remove(ow)
+			p.transfer()
+		})
+		p.park()
+		if fired {
+			timer.Cancel()
+		}
+		return fired
+	}
+	t.s, t.deadline, t.fired, w.done = s, p.k.now.Add(d), false, false
+	s.addWaiter(w)
+	p.k.After(d, t.timeout)
+	p.park()
+	return t.fired
 }
 
 // Signal is a broadcast condition variable for processes. Broadcast wakes
@@ -130,19 +186,45 @@ func (p *Proc) WaitTimeout(s *Signal, d Duration) bool {
 type Signal struct {
 	k       *Kernel
 	waiters []*waiter
+	spare   []*waiter // ping-pong buffer: Broadcast swaps, never reallocates
 	name    string
 }
 
+// waiter is one parked wait. Records are long-lived (a process reuses one
+// record across all its waits), so the Broadcast wake event is a closure
+// built once at construction, not per broadcast. inflight counts scheduled
+// wake events that have not yet run; a record must not be re-enqueued while
+// one is outstanding or the stale wakeup would fire the next wait early.
 type waiter struct {
-	wake func()
-	done bool
+	wake     func()
+	fire     func() // cached Broadcast wake event
+	done     bool
+	inflight int
+}
+
+// newWaiter builds a waiter whose Broadcast wake event is pre-bound.
+func newWaiter(wake func()) *waiter {
+	w := &waiter{wake: wake}
+	w.fire = func() {
+		w.inflight--
+		if w.done {
+			return
+		}
+		w.done = true
+		w.wake()
+	}
+	return w
 }
 
 // NewSignal returns a signal bound to kernel k.
 func (k *Kernel) NewSignal(name string) *Signal { return &Signal{k: k, name: name} }
 
 func (s *Signal) add(p *Proc) {
-	s.addWaiter(&waiter{wake: func() { p.transfer() }})
+	if p.pw == nil {
+		p.pw = newWaiter(p.transferFn)
+	}
+	p.pw.done = false
+	s.addWaiter(p.pw)
 }
 
 func (s *Signal) addWaiter(w *waiter) { s.waiters = append(s.waiters, w) }
@@ -160,17 +242,15 @@ func (s *Signal) remove(w *waiter) {
 // events, so the caller continues first.
 func (s *Signal) Broadcast() {
 	ws := s.waiters
-	s.waiters = nil
-	for _, w := range ws {
-		w := w
-		s.k.After(0, func() {
-			if w.done {
-				return
-			}
-			w.done = true
-			w.wake()
-		})
+	if len(ws) == 0 {
+		return
 	}
+	s.waiters = s.spare[:0]
+	for _, w := range ws {
+		w.inflight++
+		s.k.After(0, w.fire)
+	}
+	s.spare = ws[:0]
 }
 
 // Waiters reports how many processes are parked on the signal.

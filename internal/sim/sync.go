@@ -6,6 +6,7 @@ package sim
 type Queue[T any] struct {
 	k        *Kernel
 	items    []T
+	head     int // index of the next item to pop; items[:head] are consumed
 	nonEmpty *Signal
 	closed   bool
 }
@@ -25,13 +26,20 @@ func (q *Queue[T]) Push(v T) {
 }
 
 // TryPop removes and returns the head item without blocking. ok is false if
-// the queue is empty.
+// the queue is empty. Popping advances a head index rather than re-slicing,
+// so a drained queue's backing array is reused instead of reallocated.
 func (q *Queue[T]) TryPop() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.head >= len(q.items) {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
+	v = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release the reference for the collector
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return v, true
 }
 
@@ -57,7 +65,7 @@ func (q *Queue[T]) Close() {
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }

@@ -1,0 +1,254 @@
+package vblade_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/hw/disk"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+const cacheExtentSectors = 64 // 32 KB extents for the cache tests
+
+func TestCacheHitAndMiss(t *testing.T) {
+	img := disk.NewSynthImage("ubuntu", 8<<20, 7)
+	r := newRig(t, img, 4)
+	r.server.EnableCache(4<<20, cacheExtentSectors)
+	r.k.Spawn("client", func(p *sim.Proc) {
+		// First read: both covering extents are filled exactly once, however
+		// many fragments the request splits into (later fragments of the same
+		// read hit or coalesce on extents the first ones filled).
+		if _, err := r.init.Read(p, 0, 2*cacheExtentSectors); err != nil {
+			t.Error(err)
+			return
+		}
+		coldHits := r.server.CacheHits.Value()
+		if m := r.server.CacheMisses.Value(); m != 2 {
+			t.Errorf("after cold read: misses=%d, want 2", m)
+		}
+		// Second read of the same range: served entirely from cache.
+		if _, err := r.init.Read(p, 0, 2*cacheExtentSectors); err != nil {
+			t.Error(err)
+			return
+		}
+		if h := r.server.CacheHits.Value(); h <= coldHits {
+			t.Error("warm read recorded no cache hits")
+		}
+		if m := r.server.CacheMisses.Value(); m != 2 {
+			t.Errorf("warm read added misses: %d", m)
+		}
+	})
+	r.k.Run()
+	if hr := r.server.CacheHitRate(); hr <= 0 {
+		t.Fatalf("hit rate = %v", hr)
+	}
+}
+
+func TestCacheMissIsSlowerThanHit(t *testing.T) {
+	img := disk.NewSynthImage("ubuntu", 8<<20, 7)
+	r := newRig(t, img, 1)
+	r.server.EnableCache(4<<20, cacheExtentSectors)
+	var cold, warm sim.Duration
+	r.k.Spawn("client", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := r.init.Read(p, 0, cacheExtentSectors); err != nil {
+			t.Error(err)
+			return
+		}
+		cold = p.Now().Sub(start)
+		start = p.Now()
+		if _, err := r.init.Read(p, 0, cacheExtentSectors); err != nil {
+			t.Error(err)
+			return
+		}
+		warm = p.Now().Sub(start)
+	})
+	r.k.Run()
+	if cold <= warm {
+		t.Fatalf("cold read (%v) not slower than warm read (%v)", cold, warm)
+	}
+}
+
+func TestCacheCoalescesConcurrentFills(t *testing.T) {
+	img := disk.NewSynthImage("ubuntu", 8<<20, 7)
+	r := newRig(t, img, 4)
+	r.server.EnableCache(4<<20, cacheExtentSectors)
+	// Two concurrent reads of the same extent: the first worker fills from
+	// cold storage, the second coalesces onto the in-flight fill instead of
+	// issuing a second disk read.
+	for i := 0; i < 2; i++ {
+		r.k.Spawn("client", func(p *sim.Proc) {
+			if _, err := r.init.Read(p, 0, cacheExtentSectors); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	r.k.Run()
+	if m := r.server.CacheMisses.Value(); m != 1 {
+		t.Fatalf("misses = %d, want 1 (fills coalesced)", m)
+	}
+	if c := r.server.CoalescedReads.Value(); c == 0 {
+		t.Fatal("no reads coalesced onto the in-flight fill")
+	}
+}
+
+func TestCacheWriteInvalidates(t *testing.T) {
+	img := disk.NewSynthImage("ubuntu", 8<<20, 7)
+	r := newRig(t, img, 2)
+	r.server.EnableCache(4<<20, cacheExtentSectors)
+	r.k.Spawn("client", func(p *sim.Proc) {
+		if _, err := r.init.Read(p, 0, cacheExtentSectors); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := r.init.Write(p, disk.Payload{LBA: 0, Count: 8, Source: disk.Synth{Seed: 3}}); err != nil {
+			t.Error(err)
+			return
+		}
+		missesBefore := r.server.CacheMisses.Value()
+		pl, err := r.init.Read(p, 0, cacheExtentSectors)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// The write evicted the cached extent, so this read misses again...
+		if m := r.server.CacheMisses.Value(); m != missesBefore+1 {
+			t.Errorf("read after write: misses %d, want %d", m, missesBefore+1)
+		}
+		// ...and serves the written data, not the stale image bytes.
+		got := pl.Bytes()[:8*disk.SectorSize]
+		want := make([]byte, 8*disk.SectorSize)
+		disk.Synth{Seed: 3}.Fill(0, want)
+		if !bytes.Equal(got, want) {
+			t.Error("read after write returned stale data")
+		}
+	})
+	r.k.Run()
+}
+
+// evictionTrace runs a fixed scan pattern against a tiny cache budget and
+// returns the ordered cache-evict event log plus final counters.
+func evictionTrace(t *testing.T) (string, int64) {
+	t.Helper()
+	img := disk.NewSynthImage("ubuntu", 8<<20, 7)
+	r := newRig(t, img, 2)
+	tr := trace.NewRecorder(r.k)
+	r.server.Instrument(metrics.NewRegistry(), tr, "server")
+	// Budget of two extents: scanning eight forces six evictions in clock
+	// order.
+	r.server.EnableCache(2*cacheExtentSectors*disk.SectorSize, cacheExtentSectors)
+	r.k.Spawn("client", func(p *sim.Proc) {
+		for i := int64(0); i < 8; i++ {
+			if _, err := r.init.Read(p, i*cacheExtentSectors, cacheExtentSectors); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	r.k.Run()
+	var log bytes.Buffer
+	for _, ev := range tr.EventsInCat("vblade") {
+		fmt.Fprintf(&log, "%d %s %v\n", ev.Time, ev.Name, ev.Args)
+	}
+	return log.String(), r.server.CacheEvictions.Value()
+}
+
+func TestCacheEvictionOrderDeterministic(t *testing.T) {
+	log1, ev1 := evictionTrace(t)
+	log2, ev2 := evictionTrace(t)
+	if ev1 == 0 {
+		t.Fatal("tiny budget produced no evictions")
+	}
+	if ev1 != ev2 || log1 != log2 {
+		t.Fatalf("eviction behavior not deterministic:\nrun1 (%d evictions):\n%s\nrun2 (%d evictions):\n%s",
+			ev1, log1, ev2, log2)
+	}
+}
+
+// faultTrace exercises the cache under a crash/restart plus a media-error
+// window and returns the full Chrome trace serialization.
+func faultTrace(t *testing.T) string {
+	t.Helper()
+	img := disk.NewSynthImage("ubuntu", 8<<20, 7)
+	r := newRig(t, img, 4)
+	tr := trace.NewRecorder(r.k)
+	r.server.Instrument(metrics.NewRegistry(), tr, "server")
+	r.server.EnableCache(1<<20, cacheExtentSectors)
+	r.server.Target(0, 0).AddMediaError(30*cacheExtentSectors, cacheExtentSectors, sim.Time(400*sim.Millisecond))
+	r.init.AddTarget(0x01, 0, 0) // failover loops back to the same target
+	r.k.After(60*sim.Millisecond, func() { r.server.Crash() })
+	r.k.After(120*sim.Millisecond, func() { r.server.Restart() })
+	done, failed := 0, 0
+	for c := 0; c < 3; c++ {
+		base := int64(c * 40)
+		r.k.Spawn("client", func(p *sim.Proc) {
+			defer func() { done++ }()
+			for i := int64(0); i < 24; i++ {
+				lba := (base + i) * cacheExtentSectors / 2
+				// Reads overlapping the crash outage or the media-error
+				// window may fail; that is part of the schedule and must be
+				// deterministic too.
+				if _, err := r.init.Read(p, lba, cacheExtentSectors/2); err != nil {
+					failed++
+				}
+			}
+		})
+	}
+	r.k.Run()
+	if done != 3 {
+		t.Fatalf("only %d/3 clients finished", done)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "\nfailed-reads=%d hits=%d misses=%d coalesced=%d evictions=%d\n",
+		failed, r.server.CacheHits.Value(), r.server.CacheMisses.Value(),
+		r.server.CoalescedReads.Value(), r.server.CacheEvictions.Value())
+	return buf.String()
+}
+
+func TestCacheDeterministicUnderFaults(t *testing.T) {
+	t1 := faultTrace(t)
+	t2 := faultTrace(t)
+	if t1 != t2 {
+		t.Fatal("cache-enabled trace differs across identical fault runs")
+	}
+	if len(t1) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestCacheSurvivesCrashMidFill(t *testing.T) {
+	img := disk.NewSynthImage("ubuntu", 8<<20, 7)
+	r := newRig(t, img, 2)
+	r.server.EnableCache(4<<20, cacheExtentSectors)
+	r.server.ColdReadRate = 1e7 // one extent fill takes ~3.3ms
+	// Crash while the first fill's cold-storage read is in flight: the fill
+	// must be dropped, waiters must not hang, and after restart the extent
+	// refills cleanly.
+	r.k.After(sim.Millisecond, func() {
+		if !r.server.Crashed() {
+			r.server.Crash()
+		}
+	})
+	r.k.After(50*sim.Millisecond, func() { r.server.Restart() })
+	var ok bool
+	r.k.Spawn("client", func(p *sim.Proc) {
+		if _, err := r.init.Read(p, 0, cacheExtentSectors); err != nil {
+			t.Error(err)
+			return
+		}
+		ok = true
+	})
+	r.k.Run()
+	if !ok {
+		t.Fatal("read did not recover after crash mid-fill")
+	}
+	if r.server.Crashed() {
+		t.Fatal("server still crashed")
+	}
+}

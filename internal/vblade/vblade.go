@@ -65,6 +65,12 @@ type Server struct {
 
 	targets map[uint32]*Target
 	queue   *sim.Queue[*ethernet.Frame]
+	// pool recycles outbound response frames; they come back when the
+	// initiator (or a drop point on the path) releases them.
+	pool aoe.FramePool
+	// cache is the optional shared-image serving cache (see EnableCache);
+	// nil keeps the original whole-image-in-page-cache model.
+	cache *extentCache
 
 	// Threads is the worker-pool size; 1 reproduces original vblade.
 	Threads int
@@ -75,6 +81,10 @@ type Server struct {
 	// CopyRate is the memory copy rate for payload bytes (images are
 	// served from the server's page cache).
 	CopyRate float64
+	// ColdReadRate is the cold-storage read rate charged on extent-cache
+	// misses (only meaningful with EnableCache). The default models a
+	// single SATA spindle behind the page cache.
+	ColdReadRate float64
 
 	// crashed marks a crashed server: arriving frames are dropped and
 	// mid-service workers suppress their responses. Restart clears it.
@@ -87,6 +97,12 @@ type Server struct {
 	UnknownDrops metrics.Counter
 	MediaErrors  metrics.Counter
 	Crashes      metrics.Counter
+
+	// Extent-cache counters (see EnableCache).
+	CacheHits      metrics.Counter
+	CacheMisses    metrics.Counter
+	CacheEvictions metrics.Counter
+	CoalescedReads metrics.Counter
 
 	// Observability (see Instrument): a span per served fragment plus the
 	// live queue-depth gauge.
@@ -108,19 +124,24 @@ func (s *Server) Instrument(reg *metrics.Registry, tr *trace.Recorder, node stri
 	reg.RegisterCounter("vblade.unknown_drops", &s.UnknownDrops, l)
 	reg.RegisterCounter("vblade.media_errors", &s.MediaErrors, l)
 	reg.RegisterCounter("vblade.crashes", &s.Crashes, l)
+	reg.RegisterCounter("vblade.cache_hits", &s.CacheHits, l)
+	reg.RegisterCounter("vblade.cache_misses", &s.CacheMisses, l)
+	reg.RegisterCounter("vblade.cache_evictions", &s.CacheEvictions, l)
+	reg.RegisterCounter("vblade.coalesced_reads", &s.CoalescedReads, l)
 	s.depth = reg.Gauge("vblade.queue_depth", l)
 }
 
 // NewServer returns a server speaking through n. Call AddTarget then Start.
 func NewServer(k *sim.Kernel, n *nic.NIC, threads int) *Server {
 	return &Server{
-		k:          k,
-		nic:        n,
-		targets:    make(map[uint32]*Target),
-		queue:      sim.NewQueue[*ethernet.Frame](k, "vblade.q"),
-		Threads:    threads,
-		PerFragCPU: 480 * sim.Microsecond,
-		CopyRate:   6e9,
+		k:            k,
+		nic:          n,
+		targets:      make(map[uint32]*Target),
+		queue:        sim.NewQueue[*ethernet.Frame](k, "vblade.q"),
+		Threads:      threads,
+		PerFragCPU:   480 * sim.Microsecond,
+		CopyRate:     6e9,
+		ColdReadRate: 1.5e8,
 	}
 }
 
@@ -146,6 +167,7 @@ func (t *Target) Store() *disk.Store { return t.store }
 func (s *Server) Start() {
 	s.nic.SetOnReceive(func(f *ethernet.Frame) {
 		if f.EtherType != aoe.EtherType {
+			f.Release()
 			return
 		}
 		// Frames racing a Stop or Crash (already serialized onto the wire,
@@ -153,6 +175,7 @@ func (s *Server) Start() {
 		// stopped daemon must not panic on late traffic.
 		if s.crashed || s.queue.Closed() {
 			s.UnknownDrops.Inc()
+			f.Release()
 			return
 		}
 		s.queue.Push(f)
@@ -160,12 +183,13 @@ func (s *Server) Start() {
 	for i := 0; i < s.Threads; i++ {
 		s.k.Spawn("vblade.worker", func(p *sim.Proc) {
 			q := s.queue // this incarnation's queue; Restart swaps in a new one
+			var held []*cacheExtent
 			for {
 				f, ok := q.Pop(p)
 				if !ok {
 					return
 				}
-				s.serve(p, f)
+				held = s.serve(p, f, held)
 			}
 		})
 	}
@@ -188,11 +212,16 @@ func (s *Server) Crash() {
 	s.Crashes.Inc()
 	s.tr.Emit(s.node, "vblade", "crash")
 	for { // drop everything already queued
-		if _, ok := s.queue.TryPop(); !ok {
+		f, ok := s.queue.TryPop()
+		if !ok {
 			break
 		}
+		f.Release()
 	}
 	s.queue.Close() // workers drain to the closed empty queue and exit
+	if s.cache != nil {
+		s.cache.reset() // the in-memory extent cache dies with the daemon
+	}
 	if s.depth != nil {
 		s.depth.Set(0)
 	}
@@ -227,66 +256,104 @@ func (s *Server) Crashed() bool { return s.crashed }
 // QueueDepth reports requests waiting for a worker.
 func (s *Server) QueueDepth() int { return s.queue.Len() }
 
-func (s *Server) serve(p *sim.Proc, f *ethernet.Frame) {
+// serve handles one request frame. held is the worker's reusable
+// extent-pin scratch; it is returned (always empty again) so the worker
+// can carry its backing array across serves.
+func (s *Server) serve(p *sim.Proc, f *ethernet.Frame, held []*cacheExtent) []*cacheExtent {
 	msg, ok := f.Payload.(*aoe.Message)
 	if !ok || msg.IsResponse() {
 		s.UnknownDrops.Inc()
-		return
+		f.Release()
+		return held
 	}
 	t := s.Target(msg.Major, msg.Minor)
 	if t == nil {
 		s.UnknownDrops.Inc()
-		return
+		f.Release()
+		return held
 	}
 	s.Requests.Inc()
 	if s.depth != nil {
 		s.depth.Set(float64(s.queue.Len()))
 	}
-	sp := s.tr.Begin(s.node, "aoe", "serve",
-		trace.Int("lba", int64(msg.LBA)), trace.Int("count", int64(msg.Count)))
+
+	// Copy everything the service path needs out of the request, then drop
+	// the frame's last reference: the worker sleeps below, and the
+	// initiator may recycle the request pair for a retransmit meanwhile.
+	hdr := msg.Header
+	replyTo := f.Src
+	isWrite := msg.IsWrite()
+	var writeSrc disk.SectorSource
+	if isWrite {
+		writeSrc = msg.Payload.Source
+	}
+	f.Release()
+
+	lba := int64(hdr.LBA)
+	count := int64(hdr.Count)
+	bytes := count * disk.SectorSize
+
+	// Building span attributes boxes values even when no recorder is
+	// installed, so the uninstrumented hot path skips Begin entirely
+	// (End is nil-safe).
+	var sp *trace.Span
+	if s.tr != nil {
+		sp = s.tr.Begin(s.node, "aoe", "serve",
+			trace.Int("lba", lba), trace.Int("count", count))
+	}
 	defer sp.End()
 
-	resp := &aoe.Message{Header: msg.Header}
+	respF, resp := s.pool.Get()
+	resp.Header = hdr
 	resp.Flags |= aoe.FlagResponse
-
-	lba := int64(msg.LBA)
-	count := int64(msg.Count)
-	bytes := count * disk.SectorSize
 
 	p.Sleep(s.PerFragCPU)
 	switch {
 	case lba < 0 || count <= 0 || lba+count > t.store.Sectors():
 		resp.Flags |= aoe.FlagError
 		resp.Error = 1
-		if msg.IsWrite() {
+		if isWrite {
 			s.WriteErrors.Inc()
 		}
-	case !msg.IsWrite() && t.mediaFault(lba, count, s.k.Now()):
+	case !isWrite && t.mediaFault(lba, count, s.k.Now()):
 		// Injected media-error window: the drive answers the read with an
 		// error status instead of data. The initiator fails over to a
 		// secondary target if one is configured, else errors the request.
 		resp.Flags |= aoe.FlagError
 		resp.Error = 2
 		s.MediaErrors.Inc()
-	case msg.IsWrite():
+	case isWrite:
 		p.Sleep(sim.RateDuration(bytes, s.CopyRate))
-		t.store.Write(lba, count, msg.Payload.Source)
+		t.store.Write(lba, count, writeSrc)
 		s.BytesStored.Add(bytes)
+		if s.cache != nil {
+			// The store is now the truth; stale cached extents must go.
+			s.cache.invalidate(targetKey(hdr.Major, hdr.Minor), lba, count)
+		}
 	default:
+		if s.cache != nil {
+			// Pin the covering extents, paying cold-storage reads for
+			// misses (coalesced with concurrent fills), before the
+			// memory copy-out below.
+			held = s.cache.acquire(p, targetKey(hdr.Major, hdr.Minor), t, lba, count, held)
+		}
 		p.Sleep(sim.RateDuration(bytes, s.CopyRate))
 		resp.Payload = t.store.ReadPayload(lba, count)
 		s.BytesServed.Add(bytes)
+		if s.cache != nil {
+			held = s.cache.release(held)
+		}
 	}
 
 	if s.crashed {
 		// The server died while this worker was mid-service; the response
 		// is never sent.
-		return
+		respF.Release()
+		return held
 	}
-	s.nic.Send(&ethernet.Frame{
-		Dst:       f.Src,
-		EtherType: aoe.EtherType,
-		Payload:   resp,
-		Size:      ethernet.HeaderSize + resp.WireSize(),
-	})
+	respF.Dst = replyTo
+	respF.EtherType = aoe.EtherType
+	respF.Size = ethernet.HeaderSize + resp.WireSize()
+	s.nic.Send(respF)
+	return held
 }

@@ -10,10 +10,13 @@ import (
 	"testing"
 
 	"repro/internal/aoe"
+	"repro/internal/core"
 	"repro/internal/ethernet"
+	"repro/internal/guest"
 	"repro/internal/hw/disk"
 	"repro/internal/hw/nic"
 	"repro/internal/sim"
+	"repro/internal/testbed"
 	"repro/internal/vblade"
 )
 
@@ -64,4 +67,72 @@ func TestAoEReadRoundTripAllocs(t *testing.T) {
 		t.Fatalf("one AoE read round trip allocates %.1f objects, budget %d", avg, budget)
 	}
 	t.Logf("AoE read round trip: %.1f allocs (budget %d)", avg, budget)
+}
+
+// TestMediatedReadRedirectAllocs bounds the full copy-on-read redirect: a
+// guest read of an unfilled range travels through the storage mediator, the
+// VMM, AoE (pooled frames end to end), the vblade server, and the local
+// write-through. This is the fleet fast path's per-miss cost; the budget
+// matches the AoE round trip's and the measured value sits far below it.
+func TestMediatedReadRedirectAllocs(t *testing.T) {
+	cfg := testbed.DefaultConfig()
+	cfg.ImageBytes = 8 << 30
+	tb := testbed.New(cfg)
+	n := tb.AddNode(cfg)
+	n.M.Firmware.InitTime = sim.Second
+	vcfg := core.DefaultConfig()
+	vcfg.WriteInterval = sim.Hour // keep the background copy out of the way
+	bp := guest.DefaultBootProfile()
+	bp.TotalBytes = 1 << 20
+	bp.CPUTime = 100 * sim.Millisecond
+	bp.SpanSectors = 1 << 20
+	tb.K.Spawn("prep", func(p *sim.Proc) {
+		if _, err := tb.DeployBMcast(p, n, vcfg, bp); err != nil {
+			t.Error(err)
+		}
+		tb.K.Stop()
+	})
+	tb.K.Run()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	reqs := sim.NewQueue[int64](tb.K, "req")
+	completed := 0
+	tb.K.Spawn("reader", func(p *sim.Proc) {
+		for {
+			lba, ok := reqs.Pop(p)
+			if !ok {
+				return
+			}
+			if _, err := n.OS.ReadSectors(p, lba, 8, true); err != nil {
+				t.Error(err)
+				return
+			}
+			completed++
+		}
+	})
+
+	// Each redirect targets a fresh unfilled stripe well past everything the
+	// abbreviated boot touched, so every read is a genuine miss.
+	lba := int64(1 << 21)
+	want := 0
+	redirect := func() {
+		reqs.Push(lba)
+		lba += 8
+		want++
+		for completed < want && tb.K.Pending() > 0 {
+			tb.K.RunUntil(tb.K.Now().Add(sim.Millisecond))
+		}
+	}
+	for i := 0; i < 64; i++ { // warm pools, free lists, rings, store
+		redirect()
+	}
+	avg := testing.AllocsPerRun(256, redirect)
+
+	const budget = 40
+	if avg > budget {
+		t.Fatalf("one mediated read redirect allocates %.1f objects, budget %d", avg, budget)
+	}
+	t.Logf("mediated read redirect: %.1f allocs (budget %d)", avg, budget)
 }
