@@ -4,7 +4,7 @@ GO ?= go
 # macro sweeps (full registry, full deployment, per-figure regeneration)
 # are run once — their headline metrics are simulated time, which does not
 # depend on iteration count.
-MICRO ?= BenchmarkSimEventThroughput|BenchmarkTrace|BenchmarkAoEHeaderMarshal|BenchmarkBitmap|BenchmarkStoreWrite|BenchmarkMediatedReadRedirect
+MICRO ?= BenchmarkSimEventThroughput|BenchmarkTrace|BenchmarkAoEHeaderMarshal|BenchmarkBitmap|BenchmarkStoreWrite|BenchmarkMediatedReadRedirect|BenchmarkHistogramPercentile
 MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkFleetDeploy|BenchmarkAblation
 
 BMCASTLINT := bin/bmcastlint

@@ -1,0 +1,105 @@
+// Command bmcast-obs explains where time-to-bare-metal went. It reads a
+// recorded deployment trace (the Chrome trace-event JSON that bmcast-sim
+// and bmcast-experiments write with -trace-out) plus, optionally, a
+// metrics snapshot (-metrics-out), and computes the critical path and
+// per-bucket latency attribution of every instance in the trace: fleet
+// percentiles, where each nanosecond of time-to-ready went, per-source
+// served-bytes skew, and which bucket explains each slow outlier.
+//
+// Usage:
+//
+//	bmcast-obs -trace deploy.trace.json [-metrics metrics.json]
+//	           [-json] [-o FILE] [-chrome-out FILE]
+//
+// The analysis is deterministic: the same trace and snapshot always
+// produce byte-identical output (-json included), so reports can be
+// diffed across runs to prove a change didn't move the needle — or to
+// show exactly which bucket it moved.
+//
+// -chrome-out re-emits the loaded trace as Chrome trace-event JSON with
+// causal flow arrows, for loading into Perfetto or chrome://tracing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON written with -trace-out (required)")
+	metricsPath := flag.String("metrics", "", "metrics snapshot JSON written with -metrics-out (optional)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	outPath := flag.String("o", "", "write the report to this file (default stdout)")
+	chromeOut := flag.String("chrome-out", "", "re-emit the loaded trace as Chrome trace-event JSON")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "bmcast-obs: -trace is required (write one with bmcast-sim -trace-out or bmcast-experiments -trace-out)")
+		os.Exit(2)
+	}
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	rec, err := obs.LoadChromeTrace(tf)
+	tf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var snap metrics.Snapshot
+	if *metricsPath != "" {
+		mf, err := os.Open(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err = metrics.ReadSnapshot(mf)
+		mf.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *metricsPath, err))
+		}
+	}
+
+	rep, err := obs.Analyze(rec, snap)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *jsonOut {
+		if err := rep.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+	} else {
+		rep.WriteText(w)
+	}
+
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bmcast-obs: %v\n", err)
+	os.Exit(1)
+}

@@ -5,11 +5,13 @@
 // Usage:
 //
 //	bmcast-sim [-image-gb N] [-storage ide|ahci] [-seed S] [-loss P] [-trace]
-//	           [-trace-out FILE] [-metrics] [-secondary N] [-faults SCHEDULE]
+//	           [-trace-out FILE] [-metrics] [-metrics-out FILE] [-secondary N]
+//	           [-faults SCHEDULE]
 //
 // -trace-out writes a Chrome trace-event JSON file (load it in Perfetto or
 // chrome://tracing) with one span per deployment phase, mediated command,
-// and AoE round trip. -metrics dumps the full instrument registry.
+// and AoE round trip. -metrics dumps the full instrument registry;
+// -metrics-out writes it as JSON for bmcast-obs and bench tooling.
 //
 // -faults takes a deterministic fault schedule, e.g.
 //
@@ -42,6 +44,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print VMM trace lines")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file")
 	metricsDump := flag.Bool("metrics", false, "dump the instrument registry after the run")
+	metricsOut := flag.String("metrics-out", "", "write the instrument registry as JSON (for bmcast-obs)")
 	secondary := flag.Int("secondary", 0, "number of secondary storage servers (AoE failover targets)")
 	faultSched := flag.String("faults", "", "deterministic fault schedule, e.g. '5s crash server; 20s restart server'")
 	flag.Parse()
@@ -152,5 +155,18 @@ func main() {
 	if *metricsDump {
 		fmt.Printf("\nmetrics:\n")
 		tb.Metrics.Snapshot().WriteText(os.Stdout)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tb.Metrics.Snapshot().WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
 }

@@ -81,6 +81,14 @@ type Header struct {
 	// FragTotal is the paper-extension fragment count for the whole
 	// request, letting the receiver size its reassembly window.
 	FragTotal uint16
+	// Stamp is the paper-extension send timestamp (ns) of this exact
+	// transmission, echoed verbatim by the target. It gives the initiator
+	// an unambiguous RTT sample per response — a reply to a retransmitted
+	// fragment carries the stamp of whichever copy the target actually
+	// served, so samples stay truthful under retransmission (where timing
+	// against the most recent send would read far below the real round
+	// trip). Zero means unstamped; receivers skip the sample.
+	Stamp int64
 }
 
 // Marshal encodes the header into a fresh HeaderSize-byte slice.
@@ -99,6 +107,7 @@ func (h *Header) Marshal() []byte {
 	b[15] = 0
 	binary.BigEndian.PutUint64(b[16:], h.LBA&0xFFFFFFFFFFFF)
 	binary.BigEndian.PutUint16(b[24:], h.FragTotal)
+	binary.BigEndian.PutUint64(b[26:], uint64(h.Stamp))
 	return b
 }
 
@@ -122,6 +131,7 @@ func Unmarshal(b []byte) (Header, error) {
 	h.Cmd = b[14]
 	h.LBA = binary.BigEndian.Uint64(b[16:]) & 0xFFFFFFFFFFFF
 	h.FragTotal = binary.BigEndian.Uint16(b[24:])
+	h.Stamp = int64(binary.BigEndian.Uint64(b[26:]))
 	return h, nil
 }
 

@@ -20,6 +20,7 @@ func TestHeaderRoundTrip(t *testing.T) {
 		Cmd:       CmdWriteDMAExt,
 		LBA:       0x123456789AB,
 		FragTotal: 128,
+		Stamp:     987654321012345,
 	}
 	got, err := Unmarshal(h.Marshal())
 	if err != nil {

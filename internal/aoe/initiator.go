@@ -103,8 +103,8 @@ type pendingReq struct {
 	src        disk.SectorSource // write data source
 	progress   *sim.Signal
 	err        error
-	sentAt     []sim.Time
-	cycled     int // failovers consumed by this request (≤ len(targets)-1)
+	cycled     int   // failovers consumed by this request (≤ len(targets)-1)
+	flowID     int64 // trace span ID stamped on outgoing frames (0 untraced)
 }
 
 // newReq takes a request record from the pool (or allocates one) and sizes
@@ -120,14 +120,12 @@ func (in *Initiator) newReq(frags int) *pendingReq {
 		pr.write, pr.src, pr.err = false, nil, nil
 		pr.got = resetSlice(pr.got, frags)
 		pr.parts = resetSlice(pr.parts, frags)
-		pr.sentAt = resetSlice(pr.sentAt, frags)
 		return pr
 	}
 	return &pendingReq{
 		frags:    frags,
 		got:      make([]bool, frags),
 		parts:    make([]disk.Payload, frags),
-		sentAt:   make([]sim.Time, frags),
 		progress: in.k.NewSignal("aoe.req"),
 	}
 }
@@ -268,8 +266,16 @@ func (in *Initiator) handleFrame(f *ethernet.Frame) {
 	if !pr.write {
 		pr.parts[frag] = msg.Payload
 	}
-	if t := pr.sentAt[frag]; t > 0 {
-		sample := in.k.Now().Sub(t)
+	// The echoed stamp identifies which transmission the target served,
+	// so the sample is exact even for retransmitted fragments. That
+	// matters under fleet-scale congestion: a reply to the original send
+	// timed against a later retransmit would read far below the true
+	// round trip, and the low estimate keeps the RTO under the server's
+	// queue delay — every request retransmits, the queue grows, and the
+	// collapse feeds itself. A truthful sample lets the estimate track
+	// the queue and the RTO back off to match.
+	if msg.Stamp > 0 {
+		sample := in.k.Now().Sub(sim.Time(msg.Stamp))
 		in.rtt = (in.rtt*7 + sample) / 8
 	}
 	pr.progress.Broadcast()
@@ -303,11 +309,12 @@ func (in *Initiator) sendFragment(pr *pendingReq, reqID uint32, frag int) {
 		msg.AFlags = AFlagLBA48
 		msg.Cmd = CmdReadDMAExt
 	}
-	pr.sentAt[frag] = in.k.Now()
+	msg.Stamp = int64(in.k.Now())
 	in.FragmentsSent.Inc()
 	f.Dst = in.Server
 	f.EtherType = EtherType
 	f.Size = ethernet.HeaderSize + msg.WireSize()
+	f.FlowID = pr.flowID // always set: pooled frames carry stale IDs
 	in.nic.Send(f)
 }
 
@@ -323,13 +330,15 @@ func (in *Initiator) run(p *sim.Proc, pr *pendingReq) error {
 	// installed, so the uninstrumented hot path skips Begin entirely
 	// (End is nil-safe).
 	var sp *trace.Span
+	pr.flowID = 0
 	if in.tr != nil {
 		name := "read"
 		if pr.write {
 			name = "write"
 		}
-		sp = in.tr.Begin(in.node, "aoe", name,
+		sp = in.tr.BeginChild(trace.Cause(p), in.node, "aoe", name,
 			trace.Int("lba", pr.lba), trace.Int("count", pr.count), trace.Int("frags", int64(pr.frags)))
+		pr.flowID = sp.SpanID()
 	}
 	defer sp.End()
 

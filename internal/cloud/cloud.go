@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 )
 
 // Strategy selects how an instance's OS is deployed.
@@ -134,6 +135,7 @@ func NewController(tb *testbed.Testbed, tcfg testbed.Config, poolSize int) *Cont
 		RedeployRetries: 1,
 		freeSignal:      tb.K.NewSignal("cloud.free"),
 	}
+	tb.Metrics.RegisterHistogram("cloud.time_to_ready", &c.TimeToUse)
 	c.BootProfile.SpanSectors = tcfg.ImageBytes / 2 / disk.SectorSize
 	for i := 0; i < poolSize; i++ {
 		c.free = append(c.free, tb.AddNode(tcfg))
@@ -170,6 +172,10 @@ func (c *Controller) Request(strategy Strategy) (*Instance, error) {
 	c.nextID++
 	c.instances = append(c.instances, in)
 	c.Requested.Inc()
+	if c.tb.Trace != nil { // variadic attrs box; skip entirely when not tracing
+		c.tb.Trace.Emit(node.M.Name, "cloud", "requested",
+			trace.Int("instance", int64(in.ID)))
+	}
 	c.tb.K.Spawn(fmt.Sprintf("cloud.deploy.%d", in.ID), func(p *sim.Proc) { c.deploy(p, in) })
 	return in, nil
 }
@@ -237,6 +243,10 @@ func (c *Controller) deployBMcast(p *sim.Proc, in *Instance) {
 				return
 			}
 			in.BareMetalAt = p.Now()
+			if c.tb.Trace != nil {
+				c.tb.Trace.Emit(in.Node.M.Name, "cloud", "baremetal",
+					trace.Int("instance", int64(in.ID)))
+			}
 			return
 		}
 		// Pre-ready failure: scrub the machine and return it to the pool.
@@ -282,6 +292,10 @@ func (c *Controller) fail(in *Instance, err error) {
 	in.err = err
 	in.state = StateFailed
 	c.Failures.Inc()
+	if c.tb.Trace != nil {
+		c.tb.Trace.Emit(in.Node.M.Name, "cloud", "failed",
+			trace.Int("instance", int64(in.ID)))
+	}
 	in.changed.Broadcast()
 }
 
@@ -290,6 +304,10 @@ func (c *Controller) markReady(p *sim.Proc, in *Instance) {
 	in.state = StateReady
 	c.Ready.Inc()
 	c.TimeToUse.Observe(in.TimeToReady())
+	if c.tb.Trace != nil {
+		c.tb.Trace.Emit(in.Node.M.Name, "cloud", "ready",
+			trace.Int("instance", int64(in.ID)))
+	}
 	in.changed.Broadcast()
 }
 

@@ -336,11 +336,19 @@ func (v *VMM) fail(cause error) {
 
 func (v *VMM) setPhase(ph Phase) {
 	v.phase = ph
-	v.phaseSpan.End()
+	prev := v.phaseSpan
+	prev.End()
 	v.phaseSpan = v.M.Trace.Begin(v.M.Name, "phase", ph.SpanName())
+	// Chain the phases with flow edges so the whole lifecycle reads as
+	// one causal path in the exported trace.
+	v.phaseSpan.LinkFlowFrom(prev)
 	v.M.K.Tracef("%s: vmm phase -> %s", v.M.Name, ph)
 	v.PhaseChanged.Broadcast()
 }
+
+// PhaseSpan returns the open trace span of the current lifecycle phase
+// (nil when tracing is off).
+func (v *VMM) PhaseSpan() *trace.Span { return v.phaseSpan }
 
 // Mediator exposes the device mediator (for stats and tests).
 func (v *VMM) Mediator() mediator.Mediator { return v.med }
@@ -518,9 +526,13 @@ func (v *VMM) retriever(p *sim.Proc) {
 			}
 			break // image complete
 		}
-		sp := v.M.Trace.Begin(v.M.Name, "vmm", "bg-fetch",
+		sp := v.M.Trace.BeginChild(v.phaseSpan, v.M.Name, "vmm", "bg-fetch",
 			trace.Int("lba", run.LBA), trace.Int("count", run.Count))
+		// Carry the span as the proc's cause so the AoE round trip it
+		// triggers parents here, not on the guest's critical path.
+		prev := trace.SwapCause(p, sp)
 		pl, err := v.Fetch(p, run.LBA, run.Count)
+		trace.SwapCause(p, prev)
 		sp.End()
 		if err != nil {
 			v.M.K.Tracef("%s: background fetch failed at %d: %v", v.M.Name, run.LBA, err)
@@ -581,9 +593,11 @@ func (v *VMM) writer(p *sim.Proc) {
 		}
 		pace := float64(v.Cfg.WriteInterval) * (1 + v.GuestIORate()/v.Cfg.GuestIOFreqThreshold)
 		p.Sleep(sim.Duration(pace))
-		sp := v.M.Trace.Begin(v.M.Name, "vmm", "bg-write",
+		sp := v.M.Trace.BeginChild(v.phaseSpan, v.M.Name, "vmm", "bg-write",
 			trace.Int("lba", pl.LBA), trace.Int("count", pl.Count))
+		prev := trace.SwapCause(p, sp)
 		v.writeBlock(p, pl)
+		trace.SwapCause(p, prev)
 		sp.End()
 		delete(v.inflight, pl.LBA)
 	}

@@ -39,6 +39,15 @@ type Frame struct {
 	Payload   any
 	Size      int64
 
+	// Observability metadata, not part of the wire image: FlowID carries
+	// the originating trace-span ID across the network so the receiver can
+	// link its span back to the sender's; QueuedAt is stamped when the
+	// frame enters a server queue so service code can attribute the wait.
+	// Both travel with the frame through pooling; senders overwrite them
+	// on reuse (a pool Get does not clear them).
+	FlowID   int64
+	QueuedAt sim.Time
+
 	owner FrameOwner
 	refs  int32
 }

@@ -15,9 +15,11 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/guest"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 )
 
 // Options scale and seed an experiment run.
@@ -35,6 +37,21 @@ type Options struct {
 	RDMAIterations int
 	// FleetInstances sizes the fleet fast-path cell (<= 0 means 256).
 	FleetInstances int
+	// EnableTrace records structured spans during the fleet cell so
+	// critical-path attribution can be computed; traced runs also wait
+	// for every instance to reach bare metal (so all spans close),
+	// which at paper scale means copying the whole image per instance —
+	// enable it only on reduced-scale runs.
+	EnableTrace bool
+	// BootBytes overrides the guest boot profile size in the fleet cell
+	// (0 = the calibrated default profile).
+	BootBytes int64
+
+	// observe, when set, receives each fleet-cell testbed's trace
+	// recorder and metrics snapshot as the run finishes. The runner
+	// uses it for the open-span leak check and to surface the trace to
+	// the CLI's -trace-out / -metrics-out.
+	observe func(tr *trace.Recorder, snap metrics.Snapshot)
 }
 
 // Default returns paper-scale options.

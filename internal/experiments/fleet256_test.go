@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// fleet256Run executes the paper-scale 256-instance fleet cell with tracing
+// on and returns its analyzed report plus the serialized JSON. The image and
+// boot profile are reduced so the traced run (which must reach bare metal on
+// every instance to close all spans) stays inside a test budget; the fleet
+// width — the part the paper's elasticity claim rides on — is not.
+func fleet256Run(t *testing.T) (*obs.Report, []byte) {
+	t.Helper()
+	opt := Quick()
+	opt.Seed = 1
+	opt.ImageBytes = 8 << 20
+	opt.BootBytes = 512 << 10
+	opt.EnableTrace = true
+	res, err := FleetRun(opt, 256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.Analyze(res.Trace, res.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rep, buf.Bytes()
+}
+
+// TestFleet256Attribution pins the acceptance bar for the observability
+// layer at the paper's fleet scale: for all 256 instances the attribution
+// buckets must sum to within 1% of the measured time-to-ready (the
+// hierarchical-subtraction design makes the sum exact, so this asserts
+// zero drift and the 1% criterion follows a fortiori), and the analyzer
+// report must be byte-identical across two same-seed runs.
+func TestFleet256Attribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-instance traced fleet cell takes ~30s per run")
+	}
+	rep, js := fleet256Run(t)
+	if got := len(rep.Instances); got != 256 {
+		t.Fatalf("analyzed %d instances, want 256", got)
+	}
+	for _, in := range rep.Instances {
+		var sum int64
+		for _, b := range in.Buckets {
+			if b.Dur < 0 {
+				t.Fatalf("instance %d (%s): negative bucket %s = %d", in.ID, in.Node, b.Name, b.Dur)
+			}
+			sum += b.Dur
+		}
+		if sum != in.TimeToReady {
+			t.Errorf("instance %d (%s): buckets sum to %v, time-to-ready %v (drift %v)",
+				in.ID, in.Node, sim.Duration(sum), sim.Duration(in.TimeToReady),
+				sim.Duration(sum-in.TimeToReady))
+		}
+		if in.TimeToBareMetal < in.TimeToReady {
+			t.Errorf("instance %d (%s): bare metal %v before ready %v",
+				in.ID, in.Node, sim.Duration(in.TimeToBareMetal), sim.Duration(in.TimeToReady))
+		}
+	}
+	if rep.Fleet.BareMetal == nil {
+		t.Fatal("fleet bare-metal percentile summary missing")
+	}
+	if rep.Fleet.Ready.P50 <= 0 || rep.Fleet.Ready.P99 < rep.Fleet.Ready.P50 {
+		t.Fatalf("time-to-ready percentiles implausible: p50=%v p99=%v",
+			sim.Duration(rep.Fleet.Ready.P50), sim.Duration(rep.Fleet.Ready.P99))
+	}
+	if rep.Fleet.BareMetal.P50 <= 0 || rep.Fleet.BareMetal.P99 < rep.Fleet.BareMetal.P50 {
+		t.Fatalf("bare-metal percentiles implausible: p50=%v p99=%v",
+			sim.Duration(rep.Fleet.BareMetal.P50), sim.Duration(rep.Fleet.BareMetal.P99))
+	}
+
+	_, js2 := fleet256Run(t)
+	if !bytes.Equal(js, js2) {
+		t.Fatalf("analyzer report not byte-identical across same-seed runs (%d vs %d bytes)",
+			len(js), len(js2))
+	}
+}

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // Result is one completed experiment cell: the runner that produced it, the
@@ -13,7 +17,37 @@ import (
 type Result struct {
 	Runner Runner
 	Tables []*report.Table
-	Wall   time.Duration
+	// Err is a post-cell integrity failure: currently, spans left open
+	// by a traced run (an unclosed span silently corrupts attribution).
+	Err error
+	// Trace and Snapshot are captured from the cell's traced run (nil /
+	// zero unless the cell honored Options.EnableTrace); the CLI's
+	// -trace-out and -metrics-out read them.
+	Trace    *trace.Recorder
+	Snapshot metrics.Snapshot
+	Wall     time.Duration
+}
+
+// leakCheck flags spans still open after a cell finished. The terminal
+// phase spans are the documented exceptions: BareMetal lasts until the
+// machine is released and Failed is a tombstone, so both outlive every
+// run by design. A nil recorder (untraced cell) passes trivially.
+func leakCheck(tr *trace.Recorder) error {
+	var leaked []string
+	for _, s := range tr.OpenSpanList() {
+		if s.Cat == "phase" && (s.Name == "BareMetal" || s.Name == "Failed") {
+			continue
+		}
+		leaked = append(leaked, fmt.Sprintf("%s/%s/%s", s.Node, s.Cat, s.Name))
+	}
+	if len(leaked) == 0 {
+		return nil
+	}
+	n := len(leaked)
+	if n > 8 {
+		leaked = append(leaked[:8], fmt.Sprintf("... %d more", n-8))
+	}
+	return fmt.Errorf("cell leaked %d open span(s): %s", n, strings.Join(leaked, ", "))
 }
 
 // DeriveSeed maps (base seed, cell id) to the seed that cell's kernel runs
@@ -56,16 +90,28 @@ func RunAll(runners []Runner, opt Options, parallel int) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				i := i
 				r := runners[i]
 				o := opt
 				o.Seed = DeriveSeed(opt.Seed, r.ID)
+				o.observe = func(tr *trace.Recorder, snap metrics.Snapshot) {
+					results[i].Trace = tr
+					results[i].Snapshot = snap
+					if err := leakCheck(tr); err != nil && results[i].Err == nil {
+						results[i].Err = fmt.Errorf("%s: %w", r.ID, err)
+					}
+				}
 				// Wall-clock timing here is harness instrumentation, not
 				// simulation: it measures how long the host took to run the
 				// cell (reported on stderr for the operator) and never feeds
 				// back into simulated results, so determinism is unaffected.
 				start := time.Now() //bmcast:allow walltime harness cell timing, not sim state
 				tables := r.Run(o)
-				results[i] = Result{Runner: r, Tables: tables, Wall: time.Since(start)} //bmcast:allow walltime harness cell timing, not sim state
+				// Field assignments, not a struct literal: the observe
+				// hook already filled Trace/Snapshot/Err for this cell.
+				results[i].Runner = r
+				results[i].Tables = tables
+				results[i].Wall = time.Since(start) //bmcast:allow walltime harness cell timing, not sim state
 			}
 		}()
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // OS is the guest operating system instance on one machine.
@@ -47,6 +48,19 @@ func (o *OS) SetDriver(d BlockDriver) { o.Drv = d }
 // profile's read trace with interleaved compute.
 func (o *OS) Boot(p *sim.Proc, bp BootProfile) error {
 	start := p.Now()
+	// The boot span is the guest's side of the causal DAG: mediated
+	// commands issued by this proc parent under it (via the proc-carried
+	// cause), and it parents under whatever drove the deployment.
+	var sp *trace.Span
+	if o.M.Trace != nil {
+		sp = o.M.Trace.BeginChild(trace.Cause(p), o.M.Name, "guest", "boot",
+			trace.Int("bytes", bp.TotalBytes))
+	}
+	prevCause := trace.SwapCause(p, sp)
+	defer func() {
+		trace.SwapCause(p, prevCause)
+		sp.End()
+	}()
 	// SMP bring-up: when a VMM is underneath, each AP's startup IPI and
 	// the kernel's early CR0/CR4 writes trap (paper §4.1 lists exactly
 	// these events as required VM exits).

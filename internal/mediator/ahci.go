@@ -26,6 +26,7 @@ type ahciCommand struct {
 	lba, count  int64
 	write       bool
 	data        bool
+	cause       *trace.Span // issuing proc's causal span, captured at interpret time
 	ctba        uint64
 	prdtl       int
 	bufAddr     int64
@@ -162,7 +163,7 @@ func (md *AHCI) TapWrite(p *sim.Proc, _ *hwio.Region, off int64, size int, v uin
 			return true // VMM holds the real PxIE masked
 		}
 	case ahci.PortBase + ahci.PxCI:
-		return md.onGuestIssue(uint32(v))
+		return md.onGuestIssue(p, uint32(v))
 	}
 	return false
 }
@@ -170,7 +171,7 @@ func (md *AHCI) TapWrite(p *sim.Proc, _ *hwio.Region, off int64, size int, v uin
 // onGuestIssue interprets newly issued slots; it reports whether the
 // hardware write was swallowed (always true: pass-through bits are
 // re-issued selectively).
-func (md *AHCI) onGuestIssue(ci uint32) bool {
+func (md *AHCI) onGuestIssue(p *sim.Proc, ci uint32) bool {
 	var passMask uint32
 	for slot := 0; slot < ahci.NumSlots; slot++ {
 		if ci&(1<<slot) == 0 {
@@ -178,6 +179,9 @@ func (md *AHCI) onGuestIssue(ci uint32) bool {
 		}
 		md.stats.GuestCommands.Inc()
 		cmd := md.interpret(slot)
+		// The redirect/protect handlers run on freshly spawned procs, so
+		// the issuing proc's causal span travels with the command.
+		cmd.cause = trace.Cause(p)
 		cmd.hintSrc, cmd.hintDiscard, cmd.hintArmed = md.m.TakeStorageDMAHint(cmd.bufAddr)
 		if md.vmmDepth > 0 {
 			md.stats.QueuedCommands.Inc()
@@ -341,10 +345,13 @@ func (md *AHCI) vmmSlotOp(p *sim.Proc, write bool, payload disk.Payload, keepIRQ
 func (md *AHCI) redirect(p *sim.Proc, cmd ahciCommand) {
 	var sp *trace.Span
 	if md.m.Trace != nil { // variadic attrs box; skip entirely when not tracing
-		sp = md.m.Trace.Begin(md.m.Name, "mediator", "redirect",
+		sp = md.m.Trace.BeginChild(cmd.cause, md.m.Name, "mediator", "redirect",
 			trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
 	}
 	defer sp.End()
+	// The backend fetch below issues AoE round trips on this proc; parent
+	// them under the redirect span.
+	trace.SwapCause(p, sp)
 	md.acquire(p)
 	defer md.release(p)
 
@@ -388,10 +395,11 @@ func (md *AHCI) redirect(p *sim.Proc, cmd ahciCommand) {
 func (md *AHCI) protectAccess(p *sim.Proc, cmd ahciCommand) {
 	var sp *trace.Span
 	if md.m.Trace != nil {
-		sp = md.m.Trace.Begin(md.m.Name, "mediator", "protect",
+		sp = md.m.Trace.BeginChild(cmd.cause, md.m.Name, "mediator", "protect",
 			trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
 	}
 	defer sp.End()
+	trace.SwapCause(p, sp)
 	md.acquire(p)
 	defer md.release(p)
 	if !cmd.write && !cmd.hintDiscard {
@@ -454,7 +462,7 @@ func (md *AHCI) copyToGuestPRDT(cmd ahciCommand, parts []disk.Payload) {
 func (md *AHCI) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool) bool {
 	var sp *trace.Span
 	if md.m.Trace != nil {
-		sp = md.m.Trace.Begin(md.m.Name, "mediator", "insert-write",
+		sp = md.m.Trace.BeginChild(trace.Cause(p), md.m.Name, "mediator", "insert-write",
 			trace.Int("lba", payload.LBA), trace.Int("count", payload.Count))
 	}
 	defer sp.End()
@@ -473,7 +481,7 @@ func (md *AHCI) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool
 func (md *AHCI) InsertRead(p *sim.Proc, lba, count int64) (disk.Payload, bool) {
 	var sp *trace.Span
 	if md.m.Trace != nil {
-		sp = md.m.Trace.Begin(md.m.Name, "mediator", "insert-read",
+		sp = md.m.Trace.BeginChild(trace.Cause(p), md.m.Name, "mediator", "insert-read",
 			trace.Int("lba", lba), trace.Int("count", count))
 	}
 	defer sp.End()

@@ -34,6 +34,7 @@ type ideCommand struct {
 	lba, count  int64
 	write       bool
 	data        bool
+	cause       *trace.Span // issuing proc's causal span, captured at decode time
 	prdt        uint32
 	bufAddr     int64
 	bmCmd       uint8
@@ -209,7 +210,7 @@ func (md *IDE) TapWrite(p *sim.Proc, r *hwio.Region, off int64, size int, v uint
 	case ide.RegDevice:
 		md.shDevice = x
 	case ide.RegStatusCmd:
-		return md.onGuestCommand(x)
+		return md.onGuestCommand(p, x)
 	}
 	return swallow
 }
@@ -246,9 +247,12 @@ func (md *IDE) decode(opcode uint8) ideCommand {
 
 // onGuestCommand is the interpretation/dispatch point for a command
 // register write. It reports whether the write was swallowed.
-func (md *IDE) onGuestCommand(opcode uint8) bool {
+func (md *IDE) onGuestCommand(p *sim.Proc, opcode uint8) bool {
 	md.stats.GuestCommands.Inc()
 	cmd := md.decode(opcode)
+	// The redirect/protect handlers run on freshly spawned procs, so the
+	// issuing proc's causal span travels with the command.
+	cmd.cause = trace.Cause(p)
 	cmd.hintSrc, cmd.hintDiscard, cmd.hintArmed = md.m.TakeStorageDMAHint(cmd.bufAddr)
 
 	if md.mode == ideVMMOwns {
@@ -305,9 +309,15 @@ func (md *IDE) rearmHint(cmd ideCommand) {
 
 // redirect performs copy-on-read for one intercepted guest read.
 func (md *IDE) redirect(p *sim.Proc, cmd ideCommand) {
-	sp := md.m.Trace.Begin(md.m.Name, "mediator", "redirect",
-		trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	var sp *trace.Span
+	if md.m.Trace != nil { // variadic attrs box; skip entirely when not tracing
+		sp = md.m.Trace.BeginChild(cmd.cause, md.m.Name, "mediator", "redirect",
+			trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	}
 	defer sp.End()
+	// The backend fetch below issues AoE round trips on this proc; parent
+	// them under the redirect span.
+	trace.SwapCause(p, sp)
 	md.devLock.Acquire(p)
 	defer md.devLock.Release()
 
@@ -358,9 +368,13 @@ func (md *IDE) redirect(p *sim.Proc, cmd ideCommand) {
 // protectAccess handles guest access to the VMM's bitmap save region: the
 // data never moves, but the device still generates a completion interrupt.
 func (md *IDE) protectAccess(p *sim.Proc, cmd ideCommand) {
-	sp := md.m.Trace.Begin(md.m.Name, "mediator", "protect",
-		trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	var sp *trace.Span
+	if md.m.Trace != nil {
+		sp = md.m.Trace.BeginChild(cmd.cause, md.m.Name, "mediator", "protect",
+			trace.Int("lba", cmd.lba), trace.Int("count", cmd.count))
+	}
 	defer sp.End()
+	trace.SwapCause(p, sp)
 	md.devLock.Acquire(p)
 	defer md.devLock.Release()
 	if !cmd.write && !cmd.hintDiscard {
@@ -500,8 +514,11 @@ func (md *IDE) dummyRestart(p *sim.Proc) {
 
 // InsertWrite implements Mediator: background-copy multiplexing.
 func (md *IDE) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool) bool {
-	sp := md.m.Trace.Begin(md.m.Name, "mediator", "insert-write",
-		trace.Int("lba", payload.LBA), trace.Int("count", payload.Count))
+	var sp *trace.Span
+	if md.m.Trace != nil {
+		sp = md.m.Trace.BeginChild(trace.Cause(p), md.m.Name, "mediator", "insert-write",
+			trace.Int("lba", payload.LBA), trace.Int("count", payload.Count))
+	}
 	defer sp.End()
 	md.devLock.Acquire(p)
 	defer md.devLock.Release()
@@ -519,8 +536,11 @@ func (md *IDE) InsertWrite(p *sim.Proc, payload disk.Payload, guard func() bool)
 
 // InsertRead implements Mediator.
 func (md *IDE) InsertRead(p *sim.Proc, lba, count int64) (disk.Payload, bool) {
-	sp := md.m.Trace.Begin(md.m.Name, "mediator", "insert-read",
-		trace.Int("lba", lba), trace.Int("count", count))
+	var sp *trace.Span
+	if md.m.Trace != nil {
+		sp = md.m.Trace.BeginChild(trace.Cause(p), md.m.Name, "mediator", "insert-read",
+			trace.Int("lba", lba), trace.Int("count", count))
+	}
 	defer sp.End()
 	md.devLock.Acquire(p)
 	defer md.devLock.Release()

@@ -31,17 +31,22 @@ func (c *Counter) Reset() { c.n = 0 }
 // Histogram records duration samples and answers mean/percentile queries.
 // Samples are kept exactly; the experiment scales involved (thousands to a
 // few million samples) make this affordable and precise.
+//
+// Percentile queries sort into a separate cached slice, invalidated by
+// Observe/Reset: samples keep insertion order, and a burst of queries
+// (the fleet tables ask for p50/p99/max per column) sorts once.
 type Histogram struct {
-	samples []sim.Duration
-	sorted  bool
-	sum     int64
+	samples  []sim.Duration
+	sorted   []sim.Duration // cached sort of samples; valid when sortedOK
+	sortedOK bool
+	sum      int64
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(d sim.Duration) {
 	h.samples = append(h.samples, d)
 	h.sum += int64(d)
-	h.sorted = false
+	h.sortedOK = false
 }
 
 // Count reports the number of samples.
@@ -55,24 +60,32 @@ func (h *Histogram) Mean() sim.Duration {
 	return sim.Duration(h.sum / int64(len(h.samples)))
 }
 
+// sortedView returns the cached ascending sort of the samples,
+// rebuilding it only when samples changed since the last query.
+func (h *Histogram) sortedView() []sim.Duration {
+	if !h.sortedOK {
+		h.sorted = append(h.sorted[:0], h.samples...)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
+		h.sortedOK = true
+	}
+	return h.sorted
+}
+
 // Percentile reports the p-th percentile (0 < p <= 100) using
 // nearest-rank. It returns 0 with no samples.
 func (h *Histogram) Percentile(p float64) sim.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
-	}
-	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	s := h.sortedView()
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(h.samples) {
-		rank = len(h.samples)
+	if rank > len(s) {
+		rank = len(s)
 	}
-	return h.samples[rank-1]
+	return s[rank-1]
 }
 
 // Min reports the smallest sample, or 0 with no samples.
@@ -80,8 +93,8 @@ func (h *Histogram) Min() sim.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	if h.sorted {
-		return h.samples[0]
+	if h.sortedOK {
+		return h.sorted[0]
 	}
 	min := h.samples[0]
 	for _, s := range h.samples[1:] {
@@ -99,7 +112,7 @@ func (h *Histogram) Max() sim.Duration { return h.Percentile(100) }
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]
 	h.sum = 0
-	h.sorted = false
+	h.sortedOK = false
 }
 
 // Point is one sample of a time series.

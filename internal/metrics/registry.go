@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -264,6 +265,23 @@ func (s Snapshot) Prefixed(prefix string) []Sample {
 		}
 	}
 	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON. Samples are already in
+// canonical sorted order, so same-state snapshots serialize
+// byte-identically — the machine-readable side channel for bmcast-obs
+// and bench tooling.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot previously written by WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	err := json.NewDecoder(r).Decode(&s)
+	return s, err
 }
 
 // WriteText renders the snapshot as an aligned text dump for the CLIs.

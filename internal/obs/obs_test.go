@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// singleDeploy runs one traced deployment to bare metal.
+func singleDeploy(t *testing.T) (*testbed.Testbed, *testbed.Node) {
+	t.Helper()
+	cfg := testbed.DefaultConfig()
+	cfg.ImageBytes = 32 << 20
+	cfg.DiskSectors = 1 << 20
+	cfg.EnableTrace = true
+	tb := testbed.New(cfg)
+	n := tb.AddNode(cfg)
+	n.M.Firmware.InitTime = sim.Second
+	bp := guest.DefaultBootProfile()
+	bp.TotalBytes = 4 << 20
+	bp.CPUTime = sim.Second
+	bp.SpanSectors = cfg.ImageBytes / 2 / 512
+	ok := false
+	tb.K.Spawn("deploy", func(p *sim.Proc) {
+		res, err := tb.DeployBMcast(p, n, core.DefaultConfig(), bp)
+		if err != nil {
+			t.Error(err)
+			tb.K.Stop()
+			return
+		}
+		tb.WaitBareMetal(p, n, res)
+		ok = true
+		tb.K.Stop()
+	})
+	tb.K.Run()
+	if !ok {
+		t.Fatal("deployment did not complete")
+	}
+	return tb, n
+}
+
+// fleetDeploy runs a small traced cloud fleet to bare metal.
+func fleetDeploy(t *testing.T, fleet int, seed int64) *testbed.Testbed {
+	t.Helper()
+	cfg := testbed.DefaultConfig()
+	cfg.Seed = seed
+	cfg.ImageBytes = 32 << 20
+	cfg.DiskSectors = 1 << 20
+	cfg.EnableTrace = true
+	tb := testbed.New(cfg)
+	c := cloud.NewController(tb, cfg, fleet)
+	c.BootProfile.TotalBytes = 4 << 20
+	c.BootProfile.CPUTime = sim.Second
+	for _, n := range tb.Nodes {
+		n.M.Firmware.InitTime = 2 * sim.Second
+	}
+	for i := 0; i < fleet; i++ {
+		tb.K.Spawn("tenant", func(p *sim.Proc) {
+			in, err := c.Request(cloud.StrategyBMcast)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !in.WaitReady(p) {
+				t.Errorf("instance %d: %v", in.ID, in.Err())
+			}
+		})
+	}
+	// Run until every instance reached bare metal (the controller's
+	// deploy procs keep running past ready to watch the hand-off).
+	allBare := func() bool {
+		ins := c.Instances()
+		if len(ins) < fleet {
+			return false
+		}
+		for _, in := range ins {
+			if in.BareMetalAt == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for !allBare() && tb.K.Pending() > 0 {
+		tb.K.RunUntil(tb.K.Now().Add(sim.Hour))
+	}
+	if !allBare() {
+		t.Fatal("fleet did not reach bare metal")
+	}
+	return tb
+}
+
+// TestSingleDeploymentAttribution checks the exact-sum property on one
+// deployment and the shape of the critical path.
+func TestSingleDeploymentAttribution(t *testing.T) {
+	tb, n := singleDeploy(t)
+	rep, err := Analyze(tb.Trace, tb.Metrics.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Instances) != 1 {
+		t.Fatalf("analyzed %d instances, want 1", len(rep.Instances))
+	}
+	in := rep.Instances[0]
+	if in.Node != n.M.Name {
+		t.Fatalf("instance node = %q, want %q", in.Node, n.M.Name)
+	}
+	var sum int64
+	for _, b := range in.Buckets {
+		if b.Dur < 0 {
+			t.Fatalf("bucket %s is negative: %d", b.Name, b.Dur)
+		}
+		sum += b.Dur
+	}
+	if sum != in.TimeToReady {
+		t.Fatalf("buckets sum to %d, time-to-ready is %d (off by %d)",
+			sum, in.TimeToReady, in.TimeToReady-sum)
+	}
+	if in.TimeToReady <= 0 {
+		t.Fatal("non-positive time-to-ready")
+	}
+	// The big contributors must be non-zero on a real deployment.
+	byName := map[string]int64{}
+	for _, b := range in.Buckets {
+		byName[b.Name] += b.Dur
+	}
+	// No cloud control plane here, so the window starts at the
+	// Initialization span and the firmware bucket is legitimately zero.
+	for _, want := range []string{"vmm-init", "guest-local", "mediation", "net-wait"} {
+		if byName[want] == 0 {
+			t.Fatalf("bucket %q is zero on a real deployment: %+v", want, in.Buckets)
+		}
+	}
+
+	cp := in.CriticalPath
+	if len(cp) < 2 {
+		t.Fatalf("critical path too short: %+v", cp)
+	}
+	if cp[0].Cat != "guest" || cp[0].Name != "boot" {
+		t.Fatalf("critical path must start at the boot span, got %+v", cp[0])
+	}
+	// Sources come from the metrics snapshot.
+	if len(rep.Sources) == 0 || rep.Sources[0].Bytes == 0 {
+		t.Fatalf("no served-bytes sources: %+v", rep.Sources)
+	}
+}
+
+// TestFleetAttribution checks exact-sum per instance across a cloud
+// fleet, plus the fleet summary invariants.
+func TestFleetAttribution(t *testing.T) {
+	tb := fleetDeploy(t, 4, 1)
+	rep, err := Analyze(tb.Trace, tb.Metrics.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Instances) != 4 {
+		t.Fatalf("analyzed %d instances, want 4", len(rep.Instances))
+	}
+	ids := map[int64]bool{}
+	for _, in := range rep.Instances {
+		if in.ID < 0 {
+			t.Fatalf("instance on %s has no cloud ID", in.Node)
+		}
+		ids[in.ID] = true
+		var sum int64
+		for _, b := range in.Buckets {
+			sum += b.Dur
+		}
+		if sum != in.TimeToReady {
+			t.Fatalf("instance %d: buckets sum %d != time-to-ready %d", in.ID, sum, in.TimeToReady)
+		}
+		if in.TimeToBareMetal < in.TimeToReady {
+			t.Fatalf("instance %d: bare-metal %d before ready %d", in.ID, in.TimeToBareMetal, in.TimeToReady)
+		}
+	}
+	if len(ids) != 4 {
+		t.Fatalf("duplicate instance IDs: %v", ids)
+	}
+	f := rep.Fleet
+	if f.Instances != 4 || f.Ready.P50 <= 0 || f.Ready.Worst < f.Ready.P99 || f.Ready.P99 < f.Ready.P50 {
+		t.Fatalf("fleet percentiles malformed: %+v", f)
+	}
+	if f.BareMetal == nil || f.BareMetal.P50 < f.Ready.P50 {
+		t.Fatalf("bare-metal percentiles malformed: %+v", f.BareMetal)
+	}
+	var bsum, tsum int64
+	for _, b := range f.Buckets {
+		bsum += b.Dur
+	}
+	for _, in := range rep.Instances {
+		tsum += in.TimeToReady
+	}
+	if bsum != tsum {
+		t.Fatalf("fleet bucket totals %d != sum of time-to-ready %d", bsum, tsum)
+	}
+}
+
+// TestReportDeterministic renders the analysis of two identical runs and
+// requires byte-identical JSON.
+func TestReportDeterministic(t *testing.T) {
+	render := func() []byte {
+		tb := fleetDeploy(t, 3, 7)
+		rep, err := Analyze(tb.Trace, tb.Metrics.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed analyses differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestChromeTraceRoundTrip exports a trace, re-imports it, and requires
+// the imported recorder to carry the same spans/events and produce the
+// same analysis bytes as the live recorder.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tb, _ := singleDeploy(t)
+	snap := tb.Metrics.Snapshot()
+
+	var exported bytes.Buffer
+	if err := tb.Trace.WriteChromeTrace(&exported); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadChromeTrace(bytes.NewReader(exported.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(loaded.Spans()), len(tb.Trace.Spans()); got != want {
+		t.Fatalf("loaded %d spans, want %d", got, want)
+	}
+	if got, want := len(loaded.Events()), len(tb.Trace.Events()); got != want {
+		t.Fatalf("loaded %d events, want %d", got, want)
+	}
+	for i, s := range tb.Trace.Spans() {
+		l := loaded.SpanByID(s.ID)
+		if l == nil {
+			t.Fatalf("span %d lost on round trip", s.ID)
+		}
+		if l.Parent != s.Parent || l.FlowFrom != s.FlowFrom || l.Node != s.Node ||
+			l.Cat != s.Cat || l.Name != s.Name || l.Start != s.Start || l.Open != s.Open {
+			t.Fatalf("span %d mismatch:\nlive   %+v\nloaded %+v", i, *s, *l)
+		}
+		if !s.Open && l.Stop != s.Stop {
+			t.Fatalf("span %d stop mismatch: live %v loaded %v", s.ID, s.Stop, l.Stop)
+		}
+	}
+
+	liveRep, err := Analyze(tb.Trace, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedRep, err := Analyze(loaded, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live, reimported bytes.Buffer
+	if err := liveRep.WriteJSON(&live); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadedRep.WriteJSON(&reimported); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), reimported.Bytes()) {
+		t.Fatalf("live vs re-imported analysis differ:\n--- live ---\n%s\n--- loaded ---\n%s",
+			live.Bytes(), reimported.Bytes())
+	}
+}
+
+// TestReportWritersRender smoke-tests the text renderer and the JSON
+// round trip through ReadReport.
+func TestReportWritersRender(t *testing.T) {
+	tb, _ := singleDeploy(t)
+	rep, err := Analyze(tb.Trace, tb.Metrics.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	rep.WriteText(&txt)
+	for _, want := range []string{"time-to-ready", "where the time went", "firmware", "critical path"} {
+		if !bytes.Contains(txt.Bytes(), []byte(want)) {
+			t.Fatalf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(bytes.NewReader(js.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fleet.Instances != rep.Fleet.Instances || len(back.Instances) != len(rep.Instances) {
+		t.Fatal("report JSON round trip lost instances")
+	}
+}
+
+// TestApportionExact pins the largest-remainder apportionment: exact
+// total, proportionality, and 128-bit safety at nanosecond scales.
+func TestApportionExact(t *testing.T) {
+	cases := []struct {
+		total int64
+		parts []int64
+	}{
+		{100, []int64{1, 1, 1}},
+		{7, []int64{3, 3, 3}},
+		{0, []int64{5, 5}},
+		{10, []int64{0, 0}},
+		{1 << 40, []int64{1 << 39, 1 << 38, 1 << 37}},
+		// ~18 minutes in ns split three ways: p*total overflows int64.
+		{1_000_000_000_000, []int64{999_999_999_999, 1, 500_000_000_000}},
+	}
+	for _, c := range cases {
+		out := apportion(c.total, c.parts)
+		var psum, osum int64
+		for _, p := range c.parts {
+			psum += p
+		}
+		for _, o := range out {
+			if o < 0 {
+				t.Fatalf("apportion(%d, %v) = %v: negative share", c.total, c.parts, out)
+			}
+			osum += o
+		}
+		want := c.total
+		if psum == 0 {
+			want = 0
+		}
+		if osum != want {
+			t.Fatalf("apportion(%d, %v) = %v: sums to %d, want %d", c.total, c.parts, out, osum, want)
+		}
+	}
+}
+
+// TestAnalyzeNil pins the error path.
+func TestAnalyzeNil(t *testing.T) {
+	if _, err := Analyze(nil, metrics.Snapshot{}); err == nil {
+		t.Fatal("Analyze(nil) must error")
+	}
+	var _ = trace.Recorder{} // keep the import grouping honest
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// WriteJSON writes the report as indented JSON. Every collection is
+// emitted in sorted order and all durations are integer nanoseconds, so
+// the same trace always serializes byte-identically — the property the
+// CI determinism check diffs on.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report previously written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WriteText renders the human-readable report: fleet percentiles, the
+// attribution table, per-source skew, anomalies, and (single-instance
+// runs) the critical path.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "instances analyzed: %d\n", r.Fleet.Instances)
+	if r.Fleet.Instances == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ntime-to-ready      p50=%v  p99=%v  worst=%v\n",
+		sim.Duration(r.Fleet.Ready.P50), sim.Duration(r.Fleet.Ready.P99), sim.Duration(r.Fleet.Ready.Worst))
+	if bm := r.Fleet.BareMetal; bm != nil {
+		fmt.Fprintf(w, "time-to-bare-metal p50=%v  p99=%v  worst=%v\n",
+			sim.Duration(bm.P50), sim.Duration(bm.P99), sim.Duration(bm.Worst))
+	}
+
+	var total int64
+	for _, b := range r.Fleet.Buckets {
+		total += b.Dur
+	}
+	fmt.Fprintf(w, "\nwhere the time went (fleet total %v):\n", sim.Duration(total))
+	for _, b := range r.Fleet.Buckets {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(b.Dur) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-15s %12v  %5.1f%%\n", b.Name, sim.Duration(b.Dur), pct)
+	}
+
+	if len(r.Sources) > 0 {
+		var served int64
+		for _, s := range r.Sources {
+			served += s.Bytes
+		}
+		fmt.Fprintf(w, "\nserved bytes by source:\n")
+		for _, s := range r.Sources {
+			pct := 0.0
+			if served > 0 {
+				pct = 100 * float64(s.Bytes) / float64(served)
+			}
+			fmt.Fprintf(w, "  %-12s %14d  %5.1f%%\n", s.Node, s.Bytes, pct)
+		}
+	}
+
+	if len(r.Anomalies) > 0 {
+		fmt.Fprintf(w, "\nanomalies (>10%% over fleet median):\n")
+		for _, a := range r.Anomalies {
+			id := fmt.Sprintf("instance %d", a.ID)
+			if a.ID < 0 {
+				id = "instance ?"
+			}
+			fmt.Fprintf(w, "  %s (%s): +%.1f%% vs fleet median, %.1f%% of delta = %s\n",
+				id, a.Node, a.DeltaPct, a.TopSharePct, a.TopBucket)
+		}
+	}
+
+	if len(r.Instances) == 1 && len(r.Instances[0].CriticalPath) > 0 {
+		fmt.Fprintf(w, "\ncritical path:\n")
+		for _, st := range r.Instances[0].CriticalPath {
+			fmt.Fprintf(w, "  %-10s %-9s %-10s %v\n", st.Node, st.Cat, st.Name, sim.Duration(st.Dur))
+		}
+	}
+}

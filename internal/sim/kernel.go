@@ -199,7 +199,10 @@ func (k *Kernel) Run() {
 }
 
 // RunUntil fires events up to and including instant t, then sets the clock
-// to t if it has not already advanced past it.
+// to t if it has not already advanced past it. If Stop fired mid-run the
+// clock stays at the last fired event: events scheduled before t may still
+// be pending, and warping past them would make a later RunUntil pop an
+// event from the clock's past.
 func (k *Kernel) RunUntil(t Time) {
 	k.stopped = false
 	for !k.stopped {
@@ -208,7 +211,7 @@ func (k *Kernel) RunUntil(t Time) {
 		}
 		k.step()
 	}
-	if k.now < t {
+	if !k.stopped && k.now < t {
 		k.now = t
 	}
 }

@@ -102,6 +102,28 @@ func TestRunUntilAdvancesIdleClock(t *testing.T) {
 	}
 }
 
+// A Stop fired mid-RunUntil must leave the clock at the last fired event,
+// not warp it to the target instant: events scheduled before the target may
+// still be pending, and a warped clock would put them in the past — the next
+// RunUntil would panic popping them.
+func TestRunUntilStopDoesNotWarpClock(t *testing.T) {
+	k := New(1)
+	count := 0
+	k.After(1*Second, func() { k.Stop() })
+	k.After(2*Second, func() { count++ })
+	k.RunUntil(Time(Hour))
+	if k.Now() != Time(Second) {
+		t.Fatalf("clock = %v after mid-run Stop, want 1s", k.Now())
+	}
+	k.RunUntil(Time(Hour)) // must fire the 2s event, not panic
+	if count != 1 {
+		t.Fatalf("pending event did not fire after resume (count=%d)", count)
+	}
+	if k.Now() != Time(Hour) {
+		t.Fatalf("clock = %v after clean RunUntil, want 1h", k.Now())
+	}
+}
+
 func TestStop(t *testing.T) {
 	k := New(1)
 	count := 0

@@ -22,7 +22,18 @@ type Proc struct {
 	pw *waiter
 	// tw is the reusable timed-wait state for WaitTimeout, lazily built.
 	tw *timedWaiter
+
+	// annotation is an opaque per-process slot for layers above the kernel
+	// (the tracer stores the current causal span here). Storing a pointer
+	// in the interface does not allocate.
+	annotation any
 }
+
+// Annotation returns the process's opaque annotation slot.
+func (p *Proc) Annotation() any { return p.annotation }
+
+// SetAnnotation replaces the process's opaque annotation slot.
+func (p *Proc) SetAnnotation(v any) { p.annotation = v }
 
 // Spawn starts fn as a new process. The process begins executing at the
 // current simulation time, after already-scheduled events for this instant.

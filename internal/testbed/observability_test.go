@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // deploy runs a full small deployment to bare metal and returns the testbed
@@ -69,14 +70,20 @@ func TestDeployTraceExport(t *testing.T) {
 
 	byName := map[string]int{}
 	byCat := map[string]int{}
+	byPh := map[string]int{}
 	for _, e := range ct.TraceEvents {
 		switch e.Ph {
-		case "X", "i", "M":
+		case "X", "i", "M", "s", "f":
 		default:
 			t.Fatalf("unexpected phase type %q in event %q", e.Ph, e.Name)
 		}
 		byName[e.Name]++
 		byCat[e.Cat]++
+		byPh[e.Ph]++
+	}
+	// Causal flow events come in start/finish pairs.
+	if byPh["s"] == 0 || byPh["s"] != byPh["f"] {
+		t.Fatalf("flow events unpaired: %d starts, %d finishes", byPh["s"], byPh["f"])
 	}
 	for _, phase := range []string{"Initialization", "Deployment", "Devirtualization", "BareMetal"} {
 		if byName[phase] != 1 {
@@ -150,6 +157,89 @@ func TestDevirtTraceInvariant(t *testing.T) {
 	// vacuous.
 	if len(res.Trace.SpansInCat("mediator")) == 0 || len(res.Trace.EventsInCat("cpuvirt")) == 0 {
 		t.Fatal("expected mediator spans and vm-exit events during deployment")
+	}
+}
+
+// TestCausalEdges pins the causal DAG a traced deployment records: the
+// guest boot span roots under a phase span, mediated commands parent
+// under the boot, AoE round trips parent under the mediated command that
+// issued them, and every vblade serve span links back across the network
+// to the initiator span that sent the request.
+func TestCausalEdges(t *testing.T) {
+	cfg := small()
+	cfg.EnableTrace = true
+	_, _, res := deploy(t, cfg)
+	tr := res.Trace
+
+	byID := map[int64]*trace.Span{}
+	for _, s := range tr.Spans() {
+		if s.ID == 0 {
+			t.Fatalf("span %q has no ID", s.Name)
+		}
+		if byID[s.ID] != nil {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		byID[s.ID] = s
+	}
+
+	boot := tr.FirstSpan("boot")
+	if boot == nil {
+		t.Fatal("no guest boot span")
+	}
+	if p := byID[boot.Parent]; p == nil || p.Cat != "phase" {
+		t.Fatalf("boot span parent = %+v, want a phase span", p)
+	}
+
+	// Mediated guest commands parent under the boot span; the AoE round
+	// trips they trigger parent under them in turn.
+	var bootChildren, aoeUnderMediator int
+	for _, sp := range tr.SpansInCat("mediator") {
+		if sp.Parent == boot.ID {
+			bootChildren++
+		}
+	}
+	if bootChildren == 0 {
+		t.Fatal("no mediator span parents under the guest boot span")
+	}
+	for _, sp := range tr.SpansInCat("aoe") {
+		if sp.Name != "read" && sp.Name != "write" {
+			continue
+		}
+		if p := byID[sp.Parent]; p != nil && p.Cat == "mediator" {
+			aoeUnderMediator++
+		}
+	}
+	if aoeUnderMediator == 0 {
+		t.Fatal("no AoE round trip parents under a mediated command")
+	}
+
+	// Background-copy AoE traffic must NOT parent under mediator spans —
+	// it hangs off the vmm bg-fetch spans, keeping the guest's critical
+	// path clean.
+	for _, sp := range tr.SpansNamed("bg-fetch") {
+		if p := byID[sp.Parent]; p == nil || p.Cat != "phase" {
+			t.Fatalf("bg-fetch parent = %+v, want the phase span", p)
+		}
+	}
+
+	// Every serve span on the server links back to an initiator-side span
+	// via a flow edge.
+	serves := tr.SpansNamed("serve")
+	if len(serves) == 0 {
+		t.Fatal("no serve spans recorded")
+	}
+	for _, sp := range serves {
+		src := byID[sp.FlowFrom]
+		if src == nil || src.Cat != "aoe" || src.Node == sp.Node {
+			t.Fatalf("serve span flow-from = %+v, want a client-side aoe span", src)
+		}
+	}
+
+	// Phase spans chain through flow edges.
+	dep := tr.FirstSpan("Deployment")
+	ini := tr.FirstSpan("Initialization")
+	if dep == nil || ini == nil || dep.FlowFrom != ini.ID {
+		t.Fatal("Deployment phase does not flow from Initialization")
 	}
 }
 

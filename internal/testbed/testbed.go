@@ -231,7 +231,13 @@ func (tb *Testbed) DeployBMcast(p *sim.Proc, n *Node, vcfg core.Config, bp guest
 		vmm.Initiator().AddTarget(sec.MAC, 0, 0)
 	}
 	res.VMMBooted = p.Now()
-	if err := n.OS.Boot(p, bp); err != nil {
+	// The guest boots inside the Deployment phase; carrying the phase span
+	// as the proc's cause roots the guest's boot span (and everything the
+	// boot's I/O causes) under it.
+	prevCause := trace.SwapCause(p, vmm.PhaseSpan())
+	err = n.OS.Boot(p, bp)
+	trace.SwapCause(p, prevCause)
+	if err != nil {
 		return nil, err
 	}
 	res.GuestBooted = p.Now()

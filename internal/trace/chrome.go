@@ -25,7 +25,9 @@ type chromeEvent struct {
 	Dur  *float64       `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
 	S    string         `json:"s,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -91,20 +93,33 @@ func (lt *laneTable) tid(node, cat string) int {
 // JSON. Spans export as complete ("X") events; spans still open export
 // with their duration as of the recorder's clock and an
 // "unfinished":true argument (the BareMetal phase is the usual case).
-// Instant events export as thread-scoped "i" events. A nil recorder
-// writes a valid empty trace.
+// Instant events export as thread-scoped "i" events. Causal edges export
+// twice: as span args (span_id / parent / flow_from, which round-trip
+// through an import) and as paired "s"/"f" flow events so Perfetto draws
+// arrows across timelines. A nil recorder writes a valid empty trace.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
 	if r != nil {
 		lt := newLaneTable()
+		byID := make(map[int64]*Span, len(r.spans))
+		for _, s := range r.spans {
+			byID[s.ID] = s
+		}
 		for _, s := range r.spans {
 			args := attrMap(s.Args)
 			dur := microsDur(s.Duration())
+			if args == nil {
+				args = map[string]any{}
+			}
 			if s.Open {
-				if args == nil {
-					args = map[string]any{}
-				}
 				args["unfinished"] = true
+			}
+			args["span_id"] = s.ID
+			if s.Parent != 0 {
+				args["parent"] = s.Parent
+			}
+			if s.FlowFrom != 0 {
+				args["flow_from"] = s.FlowFrom
 			}
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: s.Name, Cat: s.Cat, Ph: "X",
@@ -112,6 +127,28 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				Pid: lt.pid(s.Node), Tid: lt.tid(s.Node, s.Cat),
 				Args: args,
 			})
+			if src, ok := byID[s.FlowFrom]; ok && s.FlowFrom != 0 {
+				// The flow arrow leaves the source slice and lands at this
+				// span's start. Both endpoints carry the destination span's
+				// ID; the start timestamp is clamped into the source slice
+				// so the viewer can bind it.
+				sts := micros(s.Start)
+				if !src.Open && s.Start > src.Stop {
+					sts = micros(src.Stop)
+				}
+				if s.Start < src.Start {
+					sts = micros(src.Start)
+				}
+				out.TraceEvents = append(out.TraceEvents,
+					chromeEvent{
+						Name: "flow", Cat: "flow", Ph: "s", TS: sts, ID: s.ID,
+						Pid: lt.pid(src.Node), Tid: lt.tid(src.Node, src.Cat),
+					},
+					chromeEvent{
+						Name: "flow", Cat: "flow", Ph: "f", BP: "e", TS: micros(s.Start), ID: s.ID,
+						Pid: lt.pid(s.Node), Tid: lt.tid(s.Node, s.Cat),
+					})
+			}
 		}
 		for _, e := range r.events {
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// stepClock is a hand-advanced Clock so the exporter test controls every
+// timestamp without running a kernel.
+type stepClock struct{ now sim.Time }
+
+func (c *stepClock) Now() sim.Time { return c.now }
+
+// goldenRecorder builds a small deployment-shaped trace exercising every
+// exporter feature: nested spans, a cross-node flow edge, span attrs, an
+// instant event, and a span left open (the BareMetal phase in real runs).
+func goldenRecorder() *Recorder {
+	c := &stepClock{}
+	r := NewRecorder(c)
+
+	c.now = sim.Time(10 * sim.Millisecond)
+	phase := r.Begin("node0", "phase", "Initialization")
+	r.Emit("node0", "cloud", "requested", Int("instance", 1))
+
+	c.now = sim.Time(20 * sim.Millisecond)
+	med := r.BeginChild(phase, "node0", "mediator", "redirect", Int("lba", 2048))
+	req := r.BeginChild(med, "node0", "aoe", "read", Int("sectors", 17))
+
+	c.now = sim.Time(21 * sim.Millisecond)
+	serve := r.Begin("server", "aoe", "serve", Int("qwait", 0))
+	serve.LinkFlowFrom(req)
+	c.now = sim.Time(23 * sim.Millisecond)
+	serve.End(Int("bytes", 8704))
+
+	c.now = sim.Time(25 * sim.Millisecond)
+	req.End()
+	med.End(Int("bytes", 8704))
+
+	c.now = sim.Time(40 * sim.Millisecond)
+	phase.End()
+	r.Begin("node0", "phase", "BareMetal") // stays open: exports "unfinished"
+	c.now = sim.Time(50 * sim.Millisecond)
+	return r
+}
+
+// TestChromeTraceGolden pins the exporter's exact output. The golden file
+// is part of the exporter's contract: bmcast-obs -chrome-out re-emits
+// loaded traces through this code path, and the fleet determinism check
+// diffs those files across runs, so any byte change here is a visible
+// format change. Regenerate deliberately with:
+//
+//	go test ./internal/trace/ -run TestChromeTraceGolden -update
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/chrome_golden.json"
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exporter output diverged from %s (regenerate with -update if deliberate)\n got: %s\nwant: %s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceEventCounts checks the export is complete by category:
+// one "X" per span, one "i" per instant event, an "s"/"f" pair per flow
+// edge, and one metadata record per process and thread lane.
+func TestChromeTraceEventCounts(t *testing.T) {
+	r := goldenRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range out.TraceEvents {
+		counts[e.Ph]++
+	}
+	flows := 0
+	for _, s := range r.Spans() {
+		if s.FlowFrom != 0 {
+			flows++
+		}
+	}
+	if counts["X"] != len(r.Spans()) {
+		t.Errorf("%d complete events, want %d (one per span)", counts["X"], len(r.Spans()))
+	}
+	if counts["i"] != len(r.Events()) {
+		t.Errorf("%d instant events, want %d", counts["i"], len(r.Events()))
+	}
+	if counts["s"] != flows || counts["f"] != flows {
+		t.Errorf("flow pairs %d/%d, want %d each", counts["s"], counts["f"], flows)
+	}
+	// Lanes: node0 and server processes; node0 has phase/cloud/mediator/aoe
+	// threads, server has aoe — 2 process_name + 5 thread_name records.
+	if counts["M"] != 7 {
+		t.Errorf("%d metadata records, want 7", counts["M"])
+	}
+}
+
+// TestNilRecorderHotPathAllocs pins the disabled-instrumentation contract
+// the data path relies on: with no recorder attached, a begin/emit/end
+// sequence must not allocate at all — each call is one nil check.
+func TestNilRecorderHotPathAllocs(t *testing.T) {
+	var r *Recorder
+	avg := testing.AllocsPerRun(1000, func() {
+		sp := r.Begin("node0", "mediator", "redirect")
+		r.Emit("node0", "cpuvirt", "vm-exit")
+		sp.End()
+	})
+	if avg != 0 {
+		t.Fatalf("nil-recorder hot path allocates %.2f objects/op, want 0", avg)
+	}
+}

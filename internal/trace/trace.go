@@ -40,8 +40,22 @@ func Int(key string, value int64) Attr { return Attr{Key: key, Value: value} }
 // Span is one named interval on a node's timeline. A span is created
 // open by Recorder.Begin and closed by End; an open span has Stop equal
 // to its Start and Open true.
+//
+// Spans carry two kinds of causal edge, which together make a recorded
+// deployment a queryable DAG:
+//
+//   - Parent: the enclosing span in the same logical request (a mediated
+//     command inside a VMM phase, an AoE round trip inside a mediated
+//     command). Zero means root.
+//   - FlowFrom: a cross-node handoff — the span on another timeline whose
+//     completion caused this one (an AoE request span on the client links
+//     to the serve span on the vblade server). Zero means none.
 type Span struct {
 	r *Recorder
+
+	ID       int64 // unique within the recorder, 1-based, in begin order
+	Parent   int64 // ID of the causal parent span, or 0
+	FlowFrom int64 // ID of the cross-node origin span, or 0
 
 	Node  string // machine the span belongs to ("node0", "server", ...)
 	Cat   string // taxonomy bucket: "phase", "mediator", "aoe", "vmm", ...
@@ -50,6 +64,23 @@ type Span struct {
 	Stop  sim.Time
 	Open  bool
 	Args  []Attr
+}
+
+// LinkFlowFrom records a cross-node causal edge: src's completion fed
+// this span. Nil spans on either side are accepted and ignored.
+func (s *Span) LinkFlowFrom(src *Span) {
+	if s == nil || src == nil {
+		return
+	}
+	s.FlowFrom = src.ID
+}
+
+// SpanID returns the span's recorder-unique ID, or 0 for a nil span.
+func (s *Span) SpanID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ID
 }
 
 // End closes the span at the current simulation time, appending any
@@ -99,6 +130,7 @@ type Recorder struct {
 	clock  Clock
 	spans  []*Span // in begin order
 	events []Event // in time order (appended at clock time)
+	nextID int64   // last span ID handed out
 }
 
 // NewRecorder returns a recorder timed by clock.
@@ -115,9 +147,20 @@ func (r *Recorder) Begin(node, cat, name string, attrs ...Attr) *Span {
 	if r == nil {
 		return nil
 	}
-	s := &Span{r: r, Node: node, Cat: cat, Name: name, Start: r.clock.Now(), Open: true, Args: attrs}
+	r.nextID++
+	s := &Span{r: r, ID: r.nextID, Node: node, Cat: cat, Name: name, Start: r.clock.Now(), Open: true, Args: attrs}
 	s.Stop = s.Start
 	r.spans = append(r.spans, s)
+	return s
+}
+
+// BeginChild opens a span whose causal parent is parent (which may be
+// nil, yielding a root span). On a nil recorder it returns nil.
+func (r *Recorder) BeginChild(parent *Span, node, cat, name string, attrs ...Attr) *Span {
+	s := r.Begin(node, cat, name, attrs...)
+	if s != nil && parent != nil {
+		s.Parent = parent.ID
+	}
 	return s
 }
 
@@ -224,6 +267,29 @@ func (r *Recorder) OpenSpans() int {
 	return n
 }
 
+// OpenSpanList returns the spans still open, in begin order.
+func (r *Recorder) OpenSpanList() []*Span {
+	return r.filterSpans(func(s *Span) bool { return s.Open })
+}
+
+// SpanByID returns the span with the given ID, or nil. IDs are dense and
+// 1-based in begin order, so this is an index lookup.
+func (r *Recorder) SpanByID(id int64) *Span {
+	if r == nil || id <= 0 || id > int64(len(r.spans)) {
+		return nil
+	}
+	if s := r.spans[id-1]; s.ID == id {
+		return s
+	}
+	// Imported traces may be sparse; fall back to a scan.
+	for _, s := range r.spans {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
 // Durations builds a duration histogram over every completed span with
 // the given name — the per-span-kind latency view.
 func (r *Recorder) Durations(name string) *metrics.Histogram {
@@ -237,6 +303,66 @@ func (r *Recorder) Durations(name string) *metrics.Histogram {
 		}
 	}
 	return h
+}
+
+// --- proc-carried cause ---------------------------------------------------
+
+// Cause returns the causal span carried by process p, or nil. Layers set
+// a cause with SwapCause around work done on behalf of a request so that
+// downstream spans (an AoE round trip issued deep inside the initiator)
+// can parent themselves without threading a span through every call
+// signature in between.
+func Cause(p *sim.Proc) *Span {
+	if p == nil {
+		return nil
+	}
+	sp, _ := p.Annotation().(*Span)
+	return sp
+}
+
+// SwapCause installs sp as p's causal span and returns the previous one,
+// so callers can restore it when the request scope ends. Storing the
+// span pointer in the proc's annotation slot does not allocate.
+func SwapCause(p *sim.Proc, sp *Span) *Span {
+	if p == nil {
+		return nil
+	}
+	prev, _ := p.Annotation().(*Span)
+	p.SetAnnotation(sp)
+	return prev
+}
+
+// --- trace import ---------------------------------------------------------
+
+// FixedClock is a Clock pinned at one instant, for recorders rebuilt
+// from exported traces (where "now" is the trace's end time).
+type FixedClock sim.Time
+
+// Now returns the pinned instant.
+func (c FixedClock) Now() sim.Time { return sim.Time(c) }
+
+// ImportSpan appends a span reconstructed from an exported trace,
+// preserving its recorded ID and causal edges. The recorder's ID counter
+// advances past imported IDs so live and imported spans never collide.
+func (r *Recorder) ImportSpan(s Span) *Span {
+	if r == nil {
+		return nil
+	}
+	sp := s
+	sp.r = r
+	r.spans = append(r.spans, &sp)
+	if sp.ID > r.nextID {
+		r.nextID = sp.ID
+	}
+	return &sp
+}
+
+// ImportEvent appends an event reconstructed from an exported trace.
+func (r *Recorder) ImportEvent(e Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, e)
 }
 
 // --- kernel process events ----------------------------------------------

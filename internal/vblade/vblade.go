@@ -178,6 +178,7 @@ func (s *Server) Start() {
 			f.Release()
 			return
 		}
+		f.QueuedAt = s.k.Now() // queue-wait attribution; overwrites pooled leftovers
 		s.queue.Push(f)
 	})
 	for i := 0; i < s.Threads; i++ {
@@ -283,6 +284,8 @@ func (s *Server) serve(p *sim.Proc, f *ethernet.Frame, held []*cacheExtent) []*c
 	hdr := msg.Header
 	replyTo := f.Src
 	isWrite := msg.IsWrite()
+	flowID := f.FlowID
+	queuedAt := f.QueuedAt
 	var writeSrc disk.SectorSource
 	if isWrite {
 		writeSrc = msg.Payload.Source
@@ -299,7 +302,9 @@ func (s *Server) serve(p *sim.Proc, f *ethernet.Frame, held []*cacheExtent) []*c
 	var sp *trace.Span
 	if s.tr != nil {
 		sp = s.tr.Begin(s.node, "aoe", "serve",
-			trace.Int("lba", lba), trace.Int("count", count))
+			trace.Int("lba", lba), trace.Int("count", count),
+			trace.Int("qwait", int64(s.k.Now().Sub(queuedAt))))
+		sp.FlowFrom = flowID // links back to the initiator's request span
 	}
 	defer sp.End()
 
@@ -335,7 +340,13 @@ func (s *Server) serve(p *sim.Proc, f *ethernet.Frame, held []*cacheExtent) []*c
 			// Pin the covering extents, paying cold-storage reads for
 			// misses (coalesced with concurrent fills), before the
 			// memory copy-out below.
+			t0 := s.k.Now()
 			held = s.cache.acquire(p, targetKey(hdr.Major, hdr.Minor), t, lba, count, held)
+			if sp != nil {
+				// Cold-storage stall (miss fill or coalesced wait) as an
+				// attribute, so analysis can split service time.
+				sp.Args = append(sp.Args, trace.Int("cold", int64(s.k.Now().Sub(t0))))
+			}
 		}
 		p.Sleep(sim.RateDuration(bytes, s.CopyRate))
 		resp.Payload = t.store.ReadPayload(lba, count)
@@ -354,6 +365,7 @@ func (s *Server) serve(p *sim.Proc, f *ethernet.Frame, held []*cacheExtent) []*c
 	respF.Dst = replyTo
 	respF.EtherType = aoe.EtherType
 	respF.Size = ethernet.HeaderSize + resp.WireSize()
+	respF.FlowID = sp.SpanID() // 0 when untraced; overwrites pooled leftovers
 	s.nic.Send(respF)
 	return held
 }
