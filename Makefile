@@ -8,6 +8,10 @@ MICRO ?= BenchmarkSimEventThroughput|BenchmarkTrace|BenchmarkAoEHeaderMarshal|Be
 MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkFleetDeploy|BenchmarkAblation
 
 BMCASTLINT := bin/bmcastlint
+# LINTJSON, when set, makes the lint target append every bmcastlint
+# finding to this file as NDJSON (one record per finding); CI sets it
+# and uploads the file as the lint artifact.
+LINTJSON ?=
 
 .PHONY: test bench bench-rebase bench-smoke bench-compare lint check chaos
 
@@ -27,16 +31,19 @@ chaos:
 		./internal/core/ ./internal/cloud/ ./internal/testbed/ .
 
 # lint builds the repository's own vet tool and runs the bmcastlint
-# analyzer suite (walltime, seededrand, mapiter, pooledrelease — see
-# DESIGN.md §7) over every package via the go vet driver, then the
-# third-party checkers when available. CI installs staticcheck and
-# govulncheck at pinned versions (.github/workflows/ci.yml); local runs
-# skip them with a notice when they are not on PATH, because the build
-# container has no module proxy to install them from (which is also why
-# they are pinned in the workflow rather than via go.mod tool directives).
+# analyzer suite — the syntactic checks (walltime, seededrand, simdrift,
+# mapiter — DESIGN.md §7) and the CFG-based dataflow checks (spanleak,
+# causerestore, framebalance, pooledrelease — DESIGN.md §11) — over
+# every package via the go vet driver, including cmd/ and the lint
+# packages themselves, then the third-party checkers when available. CI
+# installs staticcheck and govulncheck at pinned versions
+# (.github/workflows/ci.yml); local runs skip them with a notice when
+# they are not on PATH, because the build container has no module proxy
+# to install them from (which is also why they are pinned in the
+# workflow rather than via go.mod tool directives).
 lint:
 	$(GO) build -o $(BMCASTLINT) ./cmd/bmcastlint
-	$(GO) vet -vettool=$(BMCASTLINT) ./...
+	BMCASTLINT_JSON=$(LINTJSON) $(GO) vet -vettool=$(BMCASTLINT) ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "lint: staticcheck not installed; skipping (CI runs it pinned)"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \

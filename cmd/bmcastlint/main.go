@@ -1,9 +1,18 @@
 // Command bmcastlint is the repository's vet tool: it runs the
-// internal/lint analyzer suite (walltime, seededrand, mapiter,
-// pooledrelease) over every package, driven by the go command:
+// internal/lint analyzer suite — the syntactic checks (walltime,
+// seededrand, simdrift, mapiter) and the CFG-based dataflow checks
+// (spanleak, causerestore, framebalance, pooledrelease) — over every
+// package, driven by the go command:
 //
 //	go build -o bin/bmcastlint ./cmd/bmcastlint
 //	go vet -vettool=bin/bmcastlint ./...
+//
+// With BMCASTLINT_JSON=<path> in the environment, every finding is also
+// appended to <path> as one JSON object per line (NDJSON); CI uploads
+// the file as the lint artifact. The file is opened with O_APPEND and
+// each package's findings are written in a single write, so the
+// parallel per-package tool invocations the go command spawns never
+// interleave mid-record.
 //
 // It speaks the same unit-checker protocol as
 // golang.org/x/tools/go/analysis/unitchecker, re-implemented on the
@@ -145,6 +154,9 @@ func run(cfgPath string) error {
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
 	}
+	if err := appendJSON(cfg.ImportPath, findings); err != nil {
+		return err
+	}
 	if err := writeVetx(cfg); err != nil {
 		return err
 	}
@@ -199,6 +211,44 @@ func buildArch() string {
 		return a
 	}
 	return runtime.GOARCH
+}
+
+// appendJSON appends one NDJSON record per finding to the file named by
+// BMCASTLINT_JSON, for CI to upload as the lint artifact. Nothing is
+// written (not even an empty file) when the variable is unset or the
+// package is clean. The go command runs one tool process per package in
+// parallel, so the records for a package are buffered and appended with
+// a single write to an O_APPEND descriptor — POSIX makes such writes
+// atomic with respect to each other, keeping records line-intact.
+func appendJSON(pkg string, findings []lint.Finding) error {
+	path := os.Getenv("BMCASTLINT_JSON")
+	if path == "" || len(findings) == 0 {
+		return nil
+	}
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	for _, f := range findings {
+		rec := struct {
+			Package  string `json:"package"`
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}{pkg, f.Analyzer, f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	out, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := out.WriteString(buf.String()); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // writeVetx writes the fact file the go command expects every vet tool to

@@ -432,10 +432,10 @@ func (sp *switchPort) Deliver(f *Frame) {
 	} else {
 		rec = &forward{sp: sp}
 		rec.fire = func() {
-			f := rec.f
+			f, owner := rec.f, rec.sp
 			rec.f = nil
-			rec.sp.free = append(rec.sp.free, rec)
-			rec.sp.forward(f)
+			owner.free = append(owner.free, rec)
+			owner.forward(f)
 		}
 	}
 	rec.f = f
@@ -469,6 +469,7 @@ func (sp *switchPort) forward(f *Frame) {
 		return
 	}
 	for i := 1; i < n; i++ {
+		//bmcast:allow framebalance flood holds n refs total; the send loop below hands off exactly n
 		f.Retain()
 	}
 	for _, l := range sw.links {

@@ -87,6 +87,7 @@ func RunAll(runners []Runner, opt Options, parallel int) []Result {
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
+		//bmcast:allow simdrift harness worker pool: each cell is its own kernel; results merge by index
 		go func() {
 			defer wg.Done()
 			for i := range jobs {

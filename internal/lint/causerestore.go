@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CauseRestoreAnalyzer proves that every captured previous-cause from
+// trace.SwapCause is restored before the function returns. The
+// canonical idiom
+//
+//	prev := trace.SwapCause(p, sp)
+//	defer trace.SwapCause(p, prev)
+//
+// settles the obligation at the defer statement: passing prev back into
+// SwapCause (or any call) hands it off. A captured prev that reaches a
+// return un-restored leaves the proc annotated with a stale cause, which
+// mis-attributes every later span on that proc.
+//
+// SwapCause calls whose result is discarded (`trace.SwapCause(p, sp)`
+// as a statement) are deliberate fire-and-forget annotations and are
+// not tracked.
+var CauseRestoreAnalyzer = &analysis.Analyzer{
+	Name: "causerestore",
+	Doc: "report captured trace.SwapCause results that are not swapped back on every path out of the function; " +
+		"use defer trace.SwapCause(p, prev) to restore the previous cause",
+	Run: runCauseRestore,
+}
+
+var causeRestoreRules = flowRules{
+	acquires:       swapCauseAcquires,
+	consumeMethods: nil, // only a hand-off (the restore call) settles
+	leakFormat: "previous cause %s captured from SwapCause is not restored on every path out of the function; " +
+		"restore it with defer trace.SwapCause(p, %[1]s) or annotate with //bmcast:allow causerestore",
+	overwriteFormat: "%s is reassigned while it still holds an unrestored previous cause",
+}
+
+func runCauseRestore(pass *analysis.Pass) (any, error) {
+	runFlow(pass, causeRestoreRules)
+	return nil, nil
+}
+
+// swapCauseAcquires recognizes `prev := SwapCause(p, sp)` (package
+// function or dotted selector, two arguments, *Span result) with a
+// captured, non-blank result.
+func swapCauseAcquires(info *types.Info, n ast.Node) []acquisition {
+	s, ok := n.(*ast.AssignStmt)
+	if !ok || len(s.Lhs) != len(s.Rhs) {
+		return nil
+	}
+	var out []acquisition
+	for i, rhs := range s.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || !isSwapCause(info, call) {
+			continue
+		}
+		if v, id := lhsVar(info, s.Lhs[i]); v != nil {
+			out = append(out, acquisition{v: v, pos: id.Pos()})
+		}
+	}
+	return out
+}
+
+// isSwapCause matches a two-argument function call named SwapCause
+// returning *Span. Like isSpanBegin the match is structural so fixtures
+// can model the API locally.
+func isSwapCause(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 2 {
+		return false
+	}
+	var name *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun
+	case *ast.SelectorExpr:
+		name = fun.Sel
+	default:
+		return false
+	}
+	if name.Name != "SwapCause" {
+		return false
+	}
+	if _, ok := info.Uses[name].(*types.Func); !ok {
+		return false
+	}
+	return namedResult(info.TypeOf(call), "Span")
+}

@@ -1,0 +1,304 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// build parses a function body and constructs its CFG.
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return cfg.New(fd.Body)
+}
+
+// blockWith returns the block whose rendered form contains substr,
+// failing the test when zero or several match.
+func blockWith(t *testing.T, g *cfg.Graph, substr string) *cfg.Block {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(g.String(), "\n"), "\n")
+	found := -1
+	for i, l := range lines {
+		if strings.Contains(l, substr) {
+			if found >= 0 {
+				t.Fatalf("blockWith(%q): blocks b%d and b%d both match\n%s", substr, found, i, g)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		t.Fatalf("blockWith(%q): no block matches\n%s", substr, g)
+	}
+	return g.Blocks[found]
+}
+
+// reaches reports whether to is reachable from from along Succs edges.
+func reaches(from, to *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{from: true}
+	work := []*cfg.Block{from}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if b == to {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}
+
+func entry(g *cfg.Graph) *cfg.Block { return g.Blocks[0] }
+
+func TestReturnMakesTailUnreachable(t *testing.T) {
+	g := build(t, `
+	a()
+	return
+	b()`)
+	if !reaches(entry(g), g.Exit) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	if reaches(entry(g), blockWith(t, g, "b()")) {
+		t.Fatalf("code after return should be unreachable:\n%s", g)
+	}
+}
+
+func TestPanicBlockHasNoSuccessors(t *testing.T) {
+	g := build(t, `
+	if c {
+		panic("invariant")
+	}
+	rest()`)
+	pb := blockWith(t, g, `panic("invariant")`)
+	if len(pb.Succs) != 0 {
+		t.Fatalf("panic block has successors %v:\n%s", pb.Succs, g)
+	}
+	if !reaches(entry(g), blockWith(t, g, "rest()")) {
+		t.Fatalf("non-panic path lost:\n%s", g)
+	}
+}
+
+func TestGotoSkipsAndBranchesBack(t *testing.T) {
+	g := build(t, `
+	goto done
+	skipped()
+done:
+	fini()`)
+	if reaches(entry(g), blockWith(t, g, "skipped()")) {
+		t.Fatalf("statement jumped over should be unreachable:\n%s", g)
+	}
+	if !reaches(entry(g), blockWith(t, g, "fini()")) {
+		t.Fatalf("goto target unreachable:\n%s", g)
+	}
+}
+
+func TestBackwardGotoFormsLoop(t *testing.T) {
+	g := build(t, `
+top:
+	step()
+	if c {
+		goto top
+	}
+	done()`)
+	// The label block carries both step() and the if condition; a real
+	// cycle means one of its successors (the goto branch) leads back.
+	sb := blockWith(t, g, "step()")
+	cyclic := false
+	for _, s := range sb.Succs {
+		if reaches(s, sb) {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Fatalf("backward goto should form a cycle through the label:\n%s", g)
+	}
+	if !reaches(entry(g), blockWith(t, g, "done()")) {
+		t.Fatalf("fallthrough exit lost:\n%s", g)
+	}
+}
+
+func TestLabeledBreakEscapesBothLoops(t *testing.T) {
+	labeled := build(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	done()`)
+	if !reaches(entry(labeled), blockWith(t, labeled, "done()")) {
+		t.Fatalf("break outer should reach past both loops:\n%s", labeled)
+	}
+
+	plain := build(t, `
+	for {
+		for {
+			break
+		}
+	}
+	done()`)
+	if reaches(entry(plain), blockWith(t, plain, "done()")) {
+		t.Fatalf("plain break escapes only the inner loop; done() must stay unreachable:\n%s", plain)
+	}
+}
+
+func TestLabeledContinueTargetsOuterPost(t *testing.T) {
+	labeled := build(t, `
+outer:
+	for i := 0; i < 9; i++ {
+		for {
+			continue outer
+		}
+	}
+	done()`)
+	if !reaches(entry(labeled), blockWith(t, labeled, "i++")) {
+		t.Fatalf("continue outer should reach the outer post statement:\n%s", labeled)
+	}
+
+	plain := build(t, `
+	for i := 0; i < 9; i++ {
+		for {
+			continue
+		}
+	}
+	done()`)
+	if reaches(entry(plain), blockWith(t, plain, "i++")) {
+		t.Fatalf("plain continue loops the inner for{} forever; outer post must stay unreachable:\n%s", plain)
+	}
+}
+
+func TestSelectArmsAreParallelBlocks(t *testing.T) {
+	g := build(t, `
+	select {
+	case v := <-a:
+		useA(v)
+	case w := <-b:
+		useB(w)
+	}
+	after()`)
+	armA := blockWith(t, g, "useA(v)")
+	armB := blockWith(t, g, "useB(w)")
+	if reaches(armA, armB) || reaches(armB, armA) {
+		t.Fatalf("select arms must not flow into each other:\n%s", g)
+	}
+	after := blockWith(t, g, "after()")
+	if !reaches(armA, after) || !reaches(armB, after) {
+		t.Fatalf("both arms must rejoin:\n%s", g)
+	}
+}
+
+func TestEmptySelectTerminatesFlow(t *testing.T) {
+	g := build(t, `
+	pre()
+	select {}
+	after()`)
+	if reaches(entry(g), g.Exit) {
+		t.Fatalf("select{} blocks forever; exit must be unreachable:\n%s", g)
+	}
+	if reaches(entry(g), blockWith(t, g, "after()")) {
+		t.Fatalf("code after select{} must be unreachable:\n%s", g)
+	}
+}
+
+func TestSwitchFallthroughChainsBodies(t *testing.T) {
+	g := build(t, `
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		dflt()
+	}
+	after()`)
+	one := blockWith(t, g, "one()")
+	two := blockWith(t, g, "two()")
+	linked := false
+	for _, s := range one.Succs {
+		if reaches(s, two) || s == two {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatalf("fallthrough must chain case 1 into case 2:\n%s", g)
+	}
+	dflt := blockWith(t, g, "dflt()")
+	if reaches(one, dflt) {
+		t.Fatalf("fallthrough must not reach the default body:\n%s", g)
+	}
+	if !reaches(two, blockWith(t, g, "after()")) {
+		t.Fatalf("cases must rejoin:\n%s", g)
+	}
+}
+
+func TestDeferAppearsAtRegistrationPointOnly(t *testing.T) {
+	g := build(t, `
+	if c {
+		defer f()
+	}
+	g()`)
+	db := blockWith(t, g, "defer f()")
+	var deferNode ast.Node
+	for _, n := range db.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			deferNode = n
+		}
+	}
+	if deferNode == nil {
+		t.Fatalf("defer statement should appear as a DeferStmt node:\n%s", g)
+	}
+	if db == blockWith(t, g, "g()") {
+		t.Fatalf("conditional defer must live in the branch block, not the join:\n%s", g)
+	}
+	// The branch-not-taken path must bypass the defer registration.
+	bypass := false
+	for _, s := range blockWith(t, g, "c").Succs {
+		if s != db && reaches(s, g.Exit) {
+			bypass = true
+		}
+	}
+	if !bypass {
+		t.Fatalf("cond-false path should reach exit without the defer block:\n%s", g)
+	}
+}
+
+func TestRangeHeaderCarriesTheRangeMarker(t *testing.T) {
+	g := build(t, `
+	for _, v := range xs {
+		body(v)
+	}
+	after()`)
+	head := blockWith(t, g, "range-assign")
+	var marker bool
+	for _, n := range head.Nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			marker = true
+		}
+	}
+	if !marker {
+		t.Fatalf("range head should carry the RangeStmt marker node:\n%s", g)
+	}
+	body := blockWith(t, g, "body(v)")
+	if !reaches(body, head) {
+		t.Fatalf("loop body must edge back to the range head:\n%s", g)
+	}
+	if !reaches(head, blockWith(t, g, "after()")) {
+		t.Fatalf("range must be able to terminate:\n%s", g)
+	}
+}

@@ -1,0 +1,149 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Facts is a dataflow fact set: each tracked variable maps to a small
+// non-zero analyzer-defined state. Absence (state 0) is the lattice
+// bottom — "no obligation / nothing known". Analyzers typically encode
+// an acquisition-site index in the state so the fixpoint solution can
+// name a witness when it reports.
+type Facts map[*types.Var]uint8
+
+// Clone returns an independent copy.
+func (f Facts) Clone() Facts {
+	out := make(Facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two fact sets assign identical states.
+func (f Facts) Equal(o Facts) bool {
+	if len(f) != len(o) {
+		return false
+	}
+	for k, v := range f {
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Analysis is one forward dataflow problem over a Graph.
+type Analysis struct {
+	// Transfer applies node n's effect to f in place. It must be
+	// deterministic in (n, f): the solver calls it repeatedly during
+	// fixpoint iteration, and callers replay it over the solution.
+	Transfer func(n ast.Node, f Facts)
+	// Join merges the states one variable has on two control-flow edges
+	// meeting at a block. Either argument may be 0 (the variable is
+	// untracked on that edge). Returning 0 drops the variable. Join
+	// must be commutative and idempotent; a "may" analysis returns the
+	// non-zero side (an obligation on any path survives the merge), a
+	// "must" analysis returns 0 unless both sides agree.
+	Join func(a, b uint8) uint8
+}
+
+// Forward solves the analysis to fixpoint and returns the facts at
+// entry to every *reachable* block. Unreachable blocks (code after
+// return/panic, bodies of `if false`-style dead branches are still
+// reachable — only blocks with no path from entry are excluded) have no
+// entry in the result, so their edges never pollute joins: a must-fact
+// established before `return` inside a branch is not killed by the
+// dead fallthrough edge behind it.
+func Forward(g *Graph, an Analysis) map[*Block]Facts {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	in := make(map[*Block]Facts, len(g.Blocks))
+	entry := g.Blocks[0]
+	in[entry] = Facts{}
+
+	queued := make([]bool, len(g.Blocks))
+	work := []*Block{entry}
+	queued[entry.Index] = true
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		out := in[b].Clone()
+		for _, n := range b.Nodes {
+			an.Transfer(n, out)
+		}
+		for _, s := range b.Succs {
+			cur, seen := in[s]
+			var next Facts
+			if !seen {
+				next = out.Clone()
+			} else {
+				next = mergeFacts(cur, out, an.Join)
+				if next.Equal(cur) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// mergeFacts joins two fact sets variable by variable.
+func mergeFacts(a, b Facts, join func(x, y uint8) uint8) Facts {
+	out := make(Facts, len(a))
+	for v, sa := range a {
+		if s := join(sa, b[v]); s != 0 {
+			out[v] = s
+		}
+	}
+	for v, sb := range b {
+		if _, done := a[v]; done {
+			continue
+		}
+		if s := join(0, sb); s != 0 {
+			out[v] = s
+		}
+	}
+	return out
+}
+
+// MayJoin keeps an obligation that exists on either edge — the join for
+// leak-style analyses ("must be settled on every path"). When both
+// edges carry an obligation from different sites, the smaller site
+// index wins so reports are deterministic.
+func MayJoin(a, b uint8) uint8 {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+// MustJoin keeps a fact only when both edges agree it holds — the join
+// for poison-style analyses ("released on every path reaching here").
+// Differing non-zero sites collapse to the smaller index: the fact
+// (released) holds either way, and the witness stays deterministic.
+func MustJoin(a, b uint8) uint8 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// Hand-built graphs exercise the solver without the builder in the way.
+// Nodes are sentinel identifiers; the transfer function interprets
+// "acq"/"rel" as acquire/release of one tracked variable.
+
+var testVar = types.NewVar(token.NoPos, nil, "x", types.Typ[types.Int])
+
+func sentinel(name string) ast.Node { return &ast.Ident{Name: name} }
+
+func testTransfer(n ast.Node, f cfg.Facts) {
+	id, ok := n.(*ast.Ident)
+	if !ok {
+		return
+	}
+	switch id.Name {
+	case "acq":
+		f[testVar] = 1
+	case "acq2":
+		f[testVar] = 2
+	case "rel":
+		delete(f, testVar)
+	}
+}
+
+// graph builds a Graph from an adjacency list; block i gets nodes[i].
+func graph(nodes [][]ast.Node, edges map[int][]int, exit int) *cfg.Graph {
+	g := &cfg.Graph{}
+	for i := range nodes {
+		g.Blocks = append(g.Blocks, &cfg.Block{Index: i, Nodes: nodes[i]})
+	}
+	for from, tos := range edges {
+		for _, to := range tos {
+			g.Blocks[from].Succs = append(g.Blocks[from].Succs, g.Blocks[to])
+		}
+	}
+	g.Exit = g.Blocks[exit]
+	return g
+}
+
+func TestForwardDiamondMayKeepsOneSidedFact(t *testing.T) {
+	// b0 -> b1(acq) -> b3(exit); b0 -> b2 -> b3
+	g := graph(
+		[][]ast.Node{nil, {sentinel("acq")}, nil, nil},
+		map[int][]int{0: {1, 2}, 1: {3}, 2: {3}},
+		3,
+	)
+	in := cfg.Forward(g, cfg.Analysis{Transfer: testTransfer, Join: cfg.MayJoin})
+	if got := in[g.Exit][testVar]; got != 1 {
+		t.Fatalf("may-join should keep the one-sided obligation at exit, got state %d", got)
+	}
+}
+
+func TestForwardDiamondMustDropsOneSidedFact(t *testing.T) {
+	g := graph(
+		[][]ast.Node{nil, {sentinel("acq")}, nil, nil},
+		map[int][]int{0: {1, 2}, 1: {3}, 2: {3}},
+		3,
+	)
+	in := cfg.Forward(g, cfg.Analysis{Transfer: testTransfer, Join: cfg.MustJoin})
+	if got := in[g.Exit][testVar]; got != 0 {
+		t.Fatalf("must-join should drop a fact missing on one edge, got state %d", got)
+	}
+}
+
+func TestForwardMustKeepsTwoSidedFactWithSmallerWitness(t *testing.T) {
+	// Both branches establish the fact from different sites; the join
+	// keeps it and picks the smaller site index deterministically.
+	g := graph(
+		[][]ast.Node{nil, {sentinel("acq")}, {sentinel("acq2")}, nil},
+		map[int][]int{0: {1, 2}, 1: {3}, 2: {3}},
+		3,
+	)
+	in := cfg.Forward(g, cfg.Analysis{Transfer: testTransfer, Join: cfg.MustJoin})
+	if got := in[g.Exit][testVar]; got != 1 {
+		t.Fatalf("must-join of sites 1 and 2 should keep site 1, got state %d", got)
+	}
+}
+
+func TestForwardLoopReachesFixpoint(t *testing.T) {
+	// b0 -> b1(head) -> b2(acq, body) -> b1; b1 -> b3(exit). The acquire
+	// flows around the back edge; the solver must terminate and the
+	// obligation must be visible at head and exit.
+	g := graph(
+		[][]ast.Node{nil, nil, {sentinel("acq")}, nil},
+		map[int][]int{0: {1}, 1: {2, 3}, 2: {1}},
+		3,
+	)
+	in := cfg.Forward(g, cfg.Analysis{Transfer: testTransfer, Join: cfg.MayJoin})
+	if got := in[g.Blocks[1]][testVar]; got != 1 {
+		t.Fatalf("back-edge fact should reach the loop head, got state %d", got)
+	}
+	if got := in[g.Exit][testVar]; got != 1 {
+		t.Fatalf("loop-carried fact should reach exit, got state %d", got)
+	}
+}
+
+func TestForwardReleaseInLoopBodyClearsExit(t *testing.T) {
+	// Same loop, but the body releases what it acquires: nothing leaks.
+	g := graph(
+		[][]ast.Node{nil, nil, {sentinel("acq"), sentinel("rel")}, nil},
+		map[int][]int{0: {1}, 1: {2, 3}, 2: {1}},
+		3,
+	)
+	in := cfg.Forward(g, cfg.Analysis{Transfer: testTransfer, Join: cfg.MayJoin})
+	if got := in[g.Exit][testVar]; got != 0 {
+		t.Fatalf("balanced loop body should leave exit clean, got state %d", got)
+	}
+}
+
+func TestForwardIgnoresUnreachableBlocks(t *testing.T) {
+	// b2 feeds the join but nothing reaches b2: its (empty) facts must
+	// not dilute the must-join, and it must not appear in the solution.
+	// This models the dead fallthrough edge after a `return` inside a
+	// branch.
+	g := graph(
+		[][]ast.Node{{sentinel("acq")}, nil, nil, nil},
+		map[int][]int{0: {1}, 1: {3}, 2: {3}},
+		3,
+	)
+	in := cfg.Forward(g, cfg.Analysis{Transfer: testTransfer, Join: cfg.MustJoin})
+	if _, ok := in[g.Blocks[2]]; ok {
+		t.Fatalf("unreachable block should have no solution entry")
+	}
+	if got := in[g.Exit][testVar]; got != 1 {
+		t.Fatalf("dead edge must not kill the must-fact at exit, got state %d", got)
+	}
+}
+
+func TestFactsCloneIsIndependent(t *testing.T) {
+	f := cfg.Facts{testVar: 1}
+	c := f.Clone()
+	c[testVar] = 2
+	if f[testVar] != 1 {
+		t.Fatalf("Clone must not share storage")
+	}
+	if f.Equal(c) {
+		t.Fatalf("Equal must see differing states")
+	}
+	delete(c, testVar)
+	if f.Equal(c) {
+		t.Fatalf("Equal must see differing sizes")
+	}
+	if !f.Equal(cfg.Facts{testVar: 1}) {
+		t.Fatalf("Equal must accept identical sets")
+	}
+}
+
+func TestJoinOperators(t *testing.T) {
+	cases := []struct {
+		a, b, may, must uint8
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 1, 0},
+		{0, 2, 2, 0},
+		{2, 1, 1, 1},
+		{3, 3, 3, 3},
+	}
+	for _, c := range cases {
+		if got := cfg.MayJoin(c.a, c.b); got != c.may {
+			t.Errorf("MayJoin(%d,%d) = %d, want %d", c.a, c.b, got, c.may)
+		}
+		if got := cfg.MustJoin(c.a, c.b); got != c.must {
+			t.Errorf("MustJoin(%d,%d) = %d, want %d", c.a, c.b, got, c.must)
+		}
+	}
+}

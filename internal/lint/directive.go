@@ -31,25 +31,41 @@ type Malformed struct {
 	Reason string
 }
 
+// Directive is one well-formed //bmcast:allow comment. Used is set when
+// the directive actually suppresses a diagnostic, so the driver can
+// report stale directives — a suppression that suppresses nothing is
+// drift between the comment and the code it annotates.
+type Directive struct {
+	Pos      token.Pos
+	Analyzer string
+	Used     bool
+}
+
 // Allowlist holds the parsed suppressions for one file.
 type Allowlist struct {
-	// lines maps analyzer name -> set of file line numbers on which that
-	// analyzer's diagnostics are suppressed.
-	lines     map[string]map[int]bool
-	Malformed []Malformed
+	// byLine maps analyzer name -> covered file line -> the directives
+	// covering that line (normally one; overlapping coverage keeps both).
+	byLine     map[string]map[int][]*Directive
+	Directives []*Directive
+	Malformed  []Malformed
 }
 
 // Allows reports whether diagnostics from the named analyzer are
-// suppressed on the given (1-based) file line.
+// suppressed on the given (1-based) file line, marking the covering
+// directives as used.
 func (a Allowlist) Allows(analyzer string, line int) bool {
-	return a.lines[analyzer][line]
+	ds := a.byLine[analyzer][line]
+	for _, d := range ds {
+		d.Used = true
+	}
+	return len(ds) > 0
 }
 
 // ParseAllowlist scans every comment of file for bmcast directives.
 // known is the set of analyzer names a directive may legitimately name;
 // directives naming anything else are recorded as Malformed.
 func ParseAllowlist(fset *token.FileSet, file *ast.File, known map[string]bool) Allowlist {
-	a := Allowlist{lines: make(map[string]map[int]bool)}
+	a := Allowlist{byLine: make(map[string]map[int][]*Directive)}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, directivePrefix) {
@@ -79,15 +95,17 @@ func ParseAllowlist(fset *token.FileSet, file *ast.File, known map[string]bool) 
 				})
 				continue
 			}
-			if a.lines[name] == nil {
-				a.lines[name] = make(map[int]bool)
+			if a.byLine[name] == nil {
+				a.byLine[name] = make(map[int][]*Directive)
 			}
 			// The directive covers its own line (end-of-line form) and the
 			// next line (standalone form). Nothing further: distance breeds
 			// stale suppressions.
+			d := &Directive{Pos: c.Pos(), Analyzer: name}
+			a.Directives = append(a.Directives, d)
 			line := fset.Position(c.Pos()).Line
-			a.lines[name][line] = true
-			a.lines[name][line+1] = true
+			a.byLine[name][line] = append(a.byLine[name][line], d)
+			a.byLine[name][line+1] = append(a.byLine[name][line+1], d)
 		}
 	}
 	return a

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// FrameBalanceAnalyzer proves that ref-counted frames from an
+// aoe.FramePool are balanced on every path: each `f, _ := pool.Get()`
+// and each `f.Retain()` must be matched by `f.Release()` — or by the
+// frame escaping to another owner (sent to a NIC, queued, returned) —
+// before the function exits. An unbalanced path strands the frame
+// outside the pool's freelist, which silently degrades the zero-alloc
+// serving path back to per-frame heap allocation.
+var FrameBalanceAnalyzer = &analysis.Analyzer{
+	Name: "framebalance",
+	Doc: "report FramePool frames whose retain (Get/Retain) is not balanced by Release on every path out of the function; " +
+		"handing the frame off (send, queue, return) also settles it",
+	Run: runFrameBalance,
+}
+
+var frameBalanceRules = flowRules{
+	acquires:       frameAcquires,
+	consumeMethods: map[string]bool{"Release": true},
+	leakFormat: "pooled frame %s is not Released (or handed off) on every path out of the function; " +
+		"the reference strands the buffer outside the pool — balance it or annotate with //bmcast:allow framebalance",
+	overwriteFormat: "%s is reassigned while it still holds an unreleased pooled frame",
+}
+
+func runFrameBalance(pass *analysis.Pass) (any, error) {
+	runFlow(pass, frameBalanceRules)
+	return nil, nil
+}
+
+// frameAcquires recognizes two acquisition shapes:
+//
+//	f, msg := pool.Get()   — pool has named type FramePool; fresh reference
+//	f.Retain()             — f has named type Frame; renews the obligation
+func frameAcquires(info *types.Info, n ast.Node) []acquisition {
+	if _, ok := n.(*ast.RangeStmt); ok {
+		return nil // cfg marker node: operand/body live in other blocks
+	}
+	var out []acquisition
+	if s, ok := n.(*ast.AssignStmt); ok && len(s.Rhs) == 1 && len(s.Lhs) >= 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if sel := methodCall(info, call, "Get"); sel != nil &&
+				namedResult(info.TypeOf(sel.X), "FramePool") {
+				if v, id := lhsVar(info, s.Lhs[0]); v != nil {
+					out = append(out, acquisition{v: v, pos: id.Pos()})
+				}
+			}
+		}
+	}
+	// Retain may appear inside any expression position of the node.
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel := methodCall(info, call, "Retain")
+		if sel == nil || len(call.Args) != 0 {
+			return true
+		}
+		id, ok := unparen(sel.X).(*ast.Ident)
+		if !ok || !namedResult(info.TypeOf(id), "Frame") {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			out = append(out, acquisition{v: v, pos: id.Pos(), reacquire: true})
+		}
+		return true
+	})
+	return out
+}

@@ -4,17 +4,29 @@
 // The invariants (DESIGN.md §7):
 //
 //   - walltime: simulation code runs on sim-time only. Wall-clock reads
-//     (time.Now, time.Since, timers) make runs unrepeatable.
+//     (time.Now, time.Since, time.Until) make runs unrepeatable.
 //   - seededrand: all randomness flows from the experiment seed through an
 //     injected *rand.Rand. The global math/rand functions and wall-clock
 //     seeded sources are forbidden.
+//   - simdrift: sim code must not race the Go scheduler: no go
+//     statements, no real-time sleeps or timers, no multi-case selects.
 //   - mapiter: map iteration order must not escape into ordered output
 //     (returned slices, io.Writer streams) without a sort in between.
 //   - pooledrelease: pooled records (sim event free-list, AoE request
 //     pool, disk buffers) must not be touched after release.
+//   - spanleak: a *trace.Span from Begin/BeginChild reaches End (or
+//     escapes to a new owner) on every path out of the function.
+//   - causerestore: a captured trace.SwapCause result is restored on
+//     every path out of the function.
+//   - framebalance: FramePool retains and releases balance on every path.
+//
+// The last four are path-sensitive: they run a forward dataflow analysis
+// over the intra-function CFG built by repro/internal/lint/cfg, so early
+// returns and branchy error paths are proven, not sampled (DESIGN.md §11).
 //
 // Violations are suppressed only by an explicit, line-anchored
-// `//bmcast:allow <analyzer>` directive; see directive.go.
+// `//bmcast:allow <analyzer>` directive; see directive.go. A directive
+// that suppresses nothing is itself reported.
 package lint
 
 import (
@@ -27,8 +39,12 @@ import (
 var Analyzers = []*analysis.Analyzer{
 	WalltimeAnalyzer,
 	SeededRandAnalyzer,
+	SimDriftAnalyzer,
 	MapIterAnalyzer,
 	PooledReleaseAnalyzer,
+	SpanLeakAnalyzer,
+	CauseRestoreAnalyzer,
+	FrameBalanceAnalyzer,
 }
 
 // AnalyzerNames returns the set of names a //bmcast:allow directive may

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
 )
 
 // PooledReleaseAnalyzer flags use of a pooled value after it has been
@@ -20,7 +21,12 @@ import (
 // A value is considered released by any of:
 //
 //   - a call releasing its single pointer argument: x.release(v),
-//     pool.Put(v), x.free(v)
+//     pool.Put(v), x.free(v). The lowercase names are the simulator's
+//     internal free-list convention and always count; the exported
+//     spellings (Release/Put/Free) are also common API verbs for leases
+//     and semaphores, so they count only with pool evidence — a
+//     pool-named receiver, or an argument type this package demonstrably
+//     pushes onto a free list
 //   - a free-list push: append(x.free, v), append(x.reqPool, v) — any
 //     append whose destination name contains "free" or "pool"
 //   - a Release/Free method on the value itself, v.Release() — but only
@@ -29,14 +35,18 @@ import (
 //     semaphore-style Release methods (sim.Resource, hw/mem.Memory) out
 //     of scope: releasing capacity is not releasing memory.
 //
-// After the release statement, any read or write through the released
-// variable in the same straight-line block (or in blocks nested under
-// later statements) is reported, until the variable is reassigned.
-// Releases inside a conditional branch do not poison code after the
-// branch: early-return error paths (`if err != nil { release(v); return }`)
-// stay clean. This is deliberately a same-function, straight-line
-// analysis — cheap, zero false positives on the idioms the simulator
-// uses — not a whole-program escape analysis.
+// The analysis runs forward over the intra-function CFG with a
+// must-join: a variable counts as released at a point only when *every*
+// path reaching that point has released it. Releases on one arm of a
+// branch therefore do not poison code after the join — early-return
+// error paths (`if err != nil { release(v); return }`) stay clean — but
+// uses later in the same path, in later branches, in defers registered
+// after the release, or on a loop's next iteration are reported, until
+// the variable is reassigned (revived). Releases inside a defer, go
+// statement, or function literal are not recorded: they execute at
+// another point in time. This is deliberately a same-function analysis —
+// cheap, zero false positives on the idioms the simulator uses — not a
+// whole-program escape analysis.
 var PooledReleaseAnalyzer = &analysis.Analyzer{
 	Name: "pooledrelease",
 	Doc: "flag reads/writes through a pooled value after its release/free-list " +
@@ -54,8 +64,12 @@ var releaseFuncs = map[string]bool{"release": true, "free": true, "put": true, "
 
 type prChecker struct {
 	pass *analysis.Pass
-	// pooled is the set of named types this package puts on a free list;
-	// only these may be released through a receiver method.
+	// pushed is the set of named types this package appends to a
+	// free-list-named slice — the strongest pooling evidence, used to
+	// qualify exported-name release calls.
+	pushed map[*types.TypeName]bool
+	// pooled additionally includes types released through qualifying
+	// release calls; only these may be released through a receiver method.
 	pooled map[*types.TypeName]bool
 }
 
@@ -63,44 +77,199 @@ func runPooledRelease(pass *analysis.Pass) (any, error) {
 	if !InModule(pass.Pkg.Path()) {
 		return nil, nil
 	}
-	c := &prChecker{pass: pass, pooled: map[*types.TypeName]bool{}}
+	c := &prChecker{
+		pass:   pass,
+		pushed: map[*types.TypeName]bool{},
+		pooled: map[*types.TypeName]bool{},
+	}
+	// Two evidence passes: free-list pushes first, because they decide
+	// whether an exported-name release call qualifies at all.
+	for _, f := range pass.Files {
+		c.collectPushedTypes(f)
+	}
 	for _, f := range pass.Files {
 		c.collectPooledTypes(f)
 	}
 	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.checkBody(fn.Body)
+				}
+			case *ast.FuncLit:
+				c.checkBody(fn.Body)
 			}
-			c.checkBlock(fd.Body.List, map[*types.Var]token.Pos{})
-		}
+			return true
+		})
 	}
 	return nil, nil
 }
 
-// collectPooledTypes records the named types that flow into a free-list
-// push or a release call anywhere in f.
+// collectPushedTypes records the named types that flow into a free-list
+// push anywhere in f.
+func (c *prChecker) collectPushedTypes(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, arg := range c.freelistPushArgs(call) {
+				if tn := namedOf(c.pass.TypesInfo.TypeOf(arg)); tn != nil {
+					c.pushed[tn] = true
+					c.pooled[tn] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectPooledTypes additionally records types that flow into a
+// qualifying release call anywhere in f.
 func (c *prChecker) collectPooledTypes(f *ast.File) {
 	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if args := c.freelistPushArgs(call); args != nil {
-			for _, arg := range args {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if arg := c.releaseCallArg(call); arg != nil {
 				if tn := namedOf(c.pass.TypesInfo.TypeOf(arg)); tn != nil {
 					c.pooled[tn] = true
 				}
 			}
 		}
+		return true
+	})
+}
+
+// releaseOp is one release of a local variable at a call position.
+type releaseOp struct {
+	v  *types.Var
+	at token.Pos
+}
+
+// checkBody runs the use-after-release dataflow over one function body.
+func (c *prChecker) checkBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	// Deterministic table of release sites, in block/node order. The
+	// dataflow state for a released variable is its site index + 1.
+	var sites []token.Pos
+	siteOf := make(map[token.Pos]uint8)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			for _, op := range c.releasesIn(n) {
+				if _, dup := siteOf[op.at]; dup {
+					continue
+				}
+				if len(sites) >= 255 {
+					return
+				}
+				siteOf[op.at] = uint8(len(sites) + 1)
+				sites = append(sites, op.at)
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	transfer := func(report bool) func(n ast.Node, f cfg.Facts) {
+		return func(n ast.Node, f cfg.Facts) {
+			// Range headers re-bind the key/value variables each
+			// iteration: a fresh record, never a released one.
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				for _, e := range []ast.Expr{rs.Key, rs.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+							delete(f, v)
+						}
+					}
+				}
+				return
+			}
+			// 1. Uses of already-released values are violations. A plain
+			// identifier being overwritten on an assignment's left-hand
+			// side is not a use — it is the revival below.
+			if report && len(f) > 0 {
+				c.reportUses(n, f, sites, assignTargets(n))
+			}
+			// 2. Reassignment revives a variable: `e = &event{}` or
+			// `pr = pool.Get()` makes it a fresh record.
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+							delete(f, v)
+						}
+					}
+				}
+			}
+			// 3. Record the releases this node performs — except defers
+			// and goroutines, which run at another point in time.
+			switch n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				return
+			}
+			for _, op := range c.releasesIn(n) {
+				f[op.v] = siteOf[op.at]
+			}
+		}
+	}
+
+	in := cfg.Forward(g, cfg.Analysis{Transfer: transfer(false), Join: cfg.MustJoin})
+
+	rt := transfer(true)
+	for _, b := range g.Blocks {
+		f, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		f = f.Clone()
+		for _, n := range b.Nodes {
+			rt(n, f)
+		}
+	}
+}
+
+// releasesIn scans one CFG node for release patterns. Function literals
+// are opaque (analyzed as their own bodies) and a RangeStmt node is only
+// the key/value re-binding marker.
+func (c *prChecker) releasesIn(n ast.Node) []releaseOp {
+	if _, ok := n.(*ast.RangeStmt); ok {
+		return nil
+	}
+	var out []releaseOp
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if args := c.freelistPushArgs(call); args != nil {
+			for _, arg := range args {
+				if v := c.localVar(arg); v != nil {
+					out = append(out, releaseOp{v: v, at: call.Pos()})
+				}
+			}
+			return true
+		}
 		if arg := c.releaseCallArg(call); arg != nil {
-			if tn := namedOf(c.pass.TypesInfo.TypeOf(arg)); tn != nil {
-				c.pooled[tn] = true
+			if v := c.localVar(arg); v != nil {
+				out = append(out, releaseOp{v: v, at: call.Pos()})
+			}
+			return true
+		}
+		// v.Release() / v.Free(): receiver released, if its type is
+		// actually pooled somewhere in this package.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			releaseMethodsOnValue[sel.Sel.Name] && len(call.Args) == 0 {
+			if tn := namedOf(c.pass.TypesInfo.TypeOf(sel.X)); tn != nil && c.pooled[tn] {
+				if v := c.localVar(sel.X); v != nil {
+					out = append(out, releaseOp{v: v, at: call.Pos()})
+				}
 			}
 		}
 		return true
 	})
+	return out
 }
 
 // freelistPushArgs returns the values call pushes onto a free list
@@ -120,7 +289,10 @@ func (c *prChecker) freelistPushArgs(call *ast.CallExpr) []ast.Expr {
 }
 
 // releaseCallArg returns the single pointer argument released by an
-// x.release(v)-shaped call, or nil.
+// x.release(v)-shaped call, or nil. Exported release verbs (Release,
+// Put, Free) are also ordinary API names — returning a lease, freeing a
+// semaphore slot — so they qualify only with pool evidence: a pool-named
+// receiver or an argument type this package pushes onto a free list.
 func (c *prChecker) releaseCallArg(call *ast.CallExpr) ast.Expr {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || !releaseFuncs[sel.Sel.Name] || len(call.Args) != 1 {
@@ -133,7 +305,25 @@ func (c *prChecker) releaseCallArg(call *ast.CallExpr) ast.Expr {
 	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
 		return nil
 	}
+	if ast.IsExported(sel.Sel.Name) && !isPoolName(exprName(sel.X)) {
+		if tn := namedOf(t); tn == nil || !c.pushed[tn] {
+			return nil
+		}
+	}
 	return call.Args[0]
+}
+
+// localVar resolves expr to a plain local identifier's variable, or nil.
+// Field selectors (in.pending[id]) are beyond this tracking.
+func (c *prChecker) localVar(expr ast.Expr) *types.Var {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && !v.IsField() {
+		return v
+	}
+	return nil
 }
 
 // namedOf unwraps pointers to the defining TypeName, or nil for
@@ -152,149 +342,10 @@ func namedOf(t types.Type) *types.TypeName {
 	return nil
 }
 
-// checkBlock walks stmts in order, tracking which pooled variables have
-// been released so far. released maps the variable to the position of its
-// release. The map is mutated for statements at this level; nested
-// conditional bodies get a copy so their releases stay local to the
-// branch.
-func (c *prChecker) checkBlock(stmts []ast.Stmt, released map[*types.Var]token.Pos) {
-	for _, stmt := range stmts {
-		// 1. Uses of already-released values are violations. Compound
-		// statements contribute only their header expressions here — their
-		// bodies are visited exactly once by the recursion below. A plain
-		// identifier being overwritten on an assignment's left-hand side
-		// is not a use — it is the revival below — so those exact nodes
-		// are exempt.
-		if len(released) > 0 {
-			for _, part := range shallowParts(stmt) {
-				c.reportUses(part, released, assignTargets(stmt))
-			}
-		}
-
-		// 2. Reassignment revives a variable: `e = &event{}` or
-		// `pr = pool.Get()` makes it a fresh record.
-		if as, ok := stmt.(*ast.AssignStmt); ok {
-			for _, lhs := range as.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok {
-					if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
-						delete(released, v)
-					}
-				}
-			}
-		}
-
-		// 3. Record new releases performed by this statement — but only
-		// when the statement executes unconditionally at this level
-		// (defers and goroutines run elsewhere in time; branches are
-		// handled below with local copies).
-		switch s := stmt.(type) {
-		case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt:
-			c.markReleases(s, released)
-		case *ast.BlockStmt:
-			c.checkBlock(s.List, released) // plain block: same certainty
-		case *ast.IfStmt:
-			c.checkBranchBody(s.Body, released)
-			if s.Else != nil {
-				if eb, ok := s.Else.(*ast.BlockStmt); ok {
-					c.checkBranchBody(eb, released)
-				} else {
-					c.checkBlock([]ast.Stmt{s.Else}, cloneReleased(released))
-				}
-			}
-		case *ast.ForStmt:
-			c.checkBranchBody(s.Body, released)
-		case *ast.RangeStmt:
-			c.checkBranchBody(s.Body, released)
-		case *ast.SwitchStmt:
-			for _, cl := range s.Body.List {
-				if cc, ok := cl.(*ast.CaseClause); ok {
-					c.checkBlock(cc.Body, cloneReleased(released))
-				}
-			}
-		case *ast.TypeSwitchStmt:
-			for _, cl := range s.Body.List {
-				if cc, ok := cl.(*ast.CaseClause); ok {
-					c.checkBlock(cc.Body, cloneReleased(released))
-				}
-			}
-		case *ast.SelectStmt:
-			for _, cl := range s.Body.List {
-				if cc, ok := cl.(*ast.CommClause); ok {
-					c.checkBlock(cc.Body, cloneReleased(released))
-				}
-			}
-		}
-	}
-}
-
-// checkBranchBody analyzes a conditionally-executed body: outer releases
-// are visible inside (using a released value in a later branch is still a
-// bug), but releases made inside stay inside.
-func (c *prChecker) checkBranchBody(body *ast.BlockStmt, released map[*types.Var]token.Pos) {
-	c.checkBlock(body.List, cloneReleased(released))
-}
-
-func cloneReleased(m map[*types.Var]token.Pos) map[*types.Var]token.Pos {
-	out := make(map[*types.Var]token.Pos, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
-}
-
-// shallowParts returns the pieces of stmt that checkBlock's recursion
-// does not visit on its own: the whole statement for simple statements,
-// and only the header expressions (init, condition, ranged operand, case
-// values, comm statements) for compound ones, whose bodies are recursed.
-func shallowParts(stmt ast.Stmt) []ast.Node {
-	// Optional fields (Init, Cond, ...) are nil interfaces when absent;
-	// converting them to ast.Node keeps them nil, so one check suffices.
-	add := func(parts []ast.Node, ns ...ast.Node) []ast.Node {
-		for _, n := range ns {
-			if n != nil {
-				parts = append(parts, n)
-			}
-		}
-		return parts
-	}
-	switch s := stmt.(type) {
-	case *ast.IfStmt:
-		return add(nil, s.Init, s.Cond)
-	case *ast.ForStmt:
-		return add(nil, s.Init, s.Cond, s.Post)
-	case *ast.RangeStmt:
-		return add(nil, s.X)
-	case *ast.SwitchStmt:
-		parts := add(nil, s.Init, s.Tag)
-		for _, cl := range s.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				for _, e := range cc.List {
-					parts = add(parts, e)
-				}
-			}
-		}
-		return parts
-	case *ast.TypeSwitchStmt:
-		return add(nil, s.Init, s.Assign)
-	case *ast.SelectStmt:
-		var parts []ast.Node
-		for _, cl := range s.Body.List {
-			if cc, ok := cl.(*ast.CommClause); ok {
-				parts = add(parts, cc.Comm)
-			}
-		}
-		return parts
-	case *ast.BlockStmt:
-		return nil // fully covered by recursion
-	default:
-		return []ast.Node{stmt}
-	}
-}
-
-// assignTargets returns the exact identifier nodes that stmt overwrites
+// assignTargets returns the exact identifier nodes that n overwrites
 // (plain-ident LHS of an assignment).
-func assignTargets(stmt ast.Stmt) map[*ast.Ident]bool {
-	as, ok := stmt.(*ast.AssignStmt)
+func assignTargets(n ast.Node) map[*ast.Ident]bool {
+	as, ok := n.(*ast.AssignStmt)
 	if !ok {
 		return nil
 	}
@@ -308,8 +359,11 @@ func assignTargets(stmt ast.Stmt) map[*ast.Ident]bool {
 }
 
 // reportUses flags every identifier under node that resolves to a
-// released variable, except the exempt overwrite targets.
-func (c *prChecker) reportUses(node ast.Node, released map[*types.Var]token.Pos, exempt map[*ast.Ident]bool) {
+// released variable, except the exempt overwrite targets. Unlike the
+// release scan this *does* descend into defers and function literals: a
+// closure or deferred call reading a record released earlier on this
+// path still touches recycled memory when it runs.
+func (c *prChecker) reportUses(node ast.Node, released cfg.Facts, sites []token.Pos, exempt map[*ast.Ident]bool) {
 	ast.Inspect(node, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
 		if !ok || exempt[id] {
@@ -319,55 +373,13 @@ func (c *prChecker) reportUses(node ast.Node, released map[*types.Var]token.Pos,
 		if !ok {
 			return true
 		}
-		if relPos, wasReleased := released[v]; wasReleased {
+		if st := released[v]; st != 0 {
 			c.pass.Reportf(id.Pos(),
 				"%s used after being released to its pool at %s; the record may already belong to another owner",
-				id.Name, c.pass.Fset.Position(relPos))
+				id.Name, c.pass.Fset.Position(sites[st-1]))
 		}
 		return true
 	})
-}
-
-// markReleases scans one unconditionally-executed statement for release
-// patterns and records the released variables.
-func (c *prChecker) markReleases(stmt ast.Stmt, released map[*types.Var]token.Pos) {
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if args := c.freelistPushArgs(call); args != nil {
-			for _, arg := range args {
-				c.markVar(arg, call.Pos(), released)
-			}
-			return true
-		}
-		if arg := c.releaseCallArg(call); arg != nil {
-			c.markVar(arg, call.Pos(), released)
-			return true
-		}
-		// v.Release() / v.Free(): receiver released, if its type is
-		// actually pooled somewhere in this package.
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
-			releaseMethodsOnValue[sel.Sel.Name] && len(call.Args) == 0 {
-			if tn := namedOf(c.pass.TypesInfo.TypeOf(sel.X)); tn != nil && c.pooled[tn] {
-				c.markVar(sel.X, call.Pos(), released)
-			}
-		}
-		return true
-	})
-}
-
-// markVar records expr as released when it is a plain local identifier.
-// Field selectors (in.pending[id]) are beyond straight-line tracking.
-func (c *prChecker) markVar(expr ast.Expr, at token.Pos, released map[*types.Var]token.Pos) {
-	id, ok := expr.(*ast.Ident)
-	if !ok {
-		return
-	}
-	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && !v.IsField() {
-		released[v] = at
-	}
 }
 
 // exprName renders the trailing name of an identifier or selector chain

@@ -24,7 +24,10 @@ type Finding struct {
 // Run executes every analyzer in analyzers over one type-checked package
 // and returns the findings that survive //bmcast:allow filtering, in
 // source order. Malformed directives are themselves findings (under
-// DirectiveCheckName) for packages inside this module.
+// DirectiveCheckName) for packages inside this module, and so is a
+// directive that suppressed nothing for an analyzer that actually ran —
+// stale suppressions rot visibly. Directives naming analyzers outside
+// this run are left alone (a partial run proves nothing about them).
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
 	analyzers []*analysis.Analyzer) ([]Finding, error) {
 
@@ -63,6 +66,23 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		}
 		if _, err := az.Run(pass); err != nil {
 			return nil, err
+		}
+	}
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, az := range analyzers {
+		ran[az.Name] = true
+	}
+	for _, f := range files {
+		a := allow[fset.Position(f.Pos()).Filename]
+		for _, d := range a.Directives {
+			if !d.Used && ran[d.Analyzer] {
+				findings = append(findings, Finding{
+					Analyzer: DirectiveCheckName,
+					Pos:      fset.Position(d.Pos),
+					Message:  "//bmcast:allow " + d.Analyzer + " suppresses nothing; remove the stale directive",
+				})
+			}
 		}
 	}
 

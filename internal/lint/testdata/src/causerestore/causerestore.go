@@ -1,0 +1,54 @@
+// Fixture for the causerestore analyzer. SwapCause is modeled locally —
+// the analyzer matches the two-argument SwapCause → *Span shape
+// structurally, exactly as it does against repro/internal/trace.
+package fixture
+
+type Span struct{ Name string }
+
+type Proc struct{ cause *Span }
+
+func SwapCause(p *Proc, sp *Span) *Span { old := p.cause; p.cause = sp; return old }
+
+func work() error { return nil }
+
+func goodDeferRestore(p *Proc, sp *Span) error {
+	prev := SwapCause(p, sp)
+	defer SwapCause(p, prev)
+	return work()
+}
+
+func goodSequentialRestore(p *Proc, sp *Span) {
+	prev := SwapCause(p, sp)
+	_ = work()
+	SwapCause(p, prev)
+}
+
+func goodUncaptured(p *Proc, sp *Span) {
+	// Fire-and-forget annotation: nothing captured, nothing owed.
+	SwapCause(p, sp)
+}
+
+func badNoRestore(p *Proc, sp *Span) {
+	prev := SwapCause(p, sp) // want "not restored"
+	_ = prev
+}
+
+func badEarlyReturn(p *Proc, sp *Span, err error) error {
+	prev := SwapCause(p, sp) // want "not restored"
+	if err != nil {
+		return err // leaves the proc annotated with sp's cause
+	}
+	SwapCause(p, prev)
+	return nil
+}
+
+func badOverwrite(p *Proc, a, b *Span) {
+	prev := SwapCause(p, a)
+	prev = SwapCause(p, b) // want "reassigned while it still holds"
+	SwapCause(p, prev)
+}
+
+func allowedPermanentChange(p *Proc, sp *Span) {
+	prev := SwapCause(p, sp) //bmcast:allow causerestore fixture: cause change is intentionally permanent
+	_ = prev
+}

@@ -13,3 +13,18 @@ func harnessTiming() (time.Duration, int) {
 	n := rand.Intn(10)
 	return time.Since(start), n
 }
+
+func harnessParallelism(cells []func()) {
+	// Drivers may use real goroutines, sleeps and racy selects freely:
+	// simdrift only polices simulation packages.
+	done := make(chan int, len(cells))
+	stop := make(chan int)
+	for _, c := range cells {
+		go func(f func()) { f(); done <- 1 }(c)
+	}
+	time.Sleep(time.Millisecond)
+	select {
+	case <-done:
+	case <-stop:
+	}
+}

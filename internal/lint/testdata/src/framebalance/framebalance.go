@@ -1,0 +1,90 @@
+// Fixture for the framebalance analyzer. The pool API is modeled
+// locally — the analyzer matches the FramePool.Get / Frame.Retain /
+// Frame.Release shape structurally, exactly as it does against
+// repro/internal/aoe.
+package fixture
+
+type Frame struct {
+	ref  int
+	Data []byte
+}
+
+func (f *Frame) Retain()  { f.ref++ }
+func (f *Frame) Release() { f.ref-- }
+
+type Message struct{ Op int }
+
+type FramePool struct{ frames []*Frame }
+
+func (p *FramePool) Get() (*Frame, *Message) { return &Frame{ref: 1}, &Message{} }
+
+type NIC struct{}
+
+func (n *NIC) Send(f *Frame) {}
+
+func goodReleaseOrSend(p *FramePool, nic *NIC, drop bool) {
+	f, m := p.Get()
+	_ = m
+	if drop {
+		f.Release()
+		return
+	}
+	nic.Send(f) // the NIC owns the reference now
+}
+
+func goodChannelHandoff(p *FramePool, out chan *Frame) {
+	f, m := p.Get()
+	_ = m
+	out <- f
+}
+
+func goodReturnEscape(p *FramePool) *Frame {
+	f, m := p.Get()
+	_ = m
+	return f
+}
+
+func goodRetainBalanced(f *Frame, err error) error {
+	f.Retain()
+	defer f.Release()
+	return err
+}
+
+func goodLoopPerIteration(p *FramePool, n int) {
+	for i := 0; i < n; i++ {
+		f, m := p.Get()
+		_ = m
+		f.Release()
+	}
+}
+
+func badEarlyReturn(p *FramePool, err error) error {
+	f, m := p.Get() // want "not Released"
+	_ = m
+	if err != nil {
+		return err // strands the reference
+	}
+	f.Release()
+	return nil
+}
+
+func badRetainLeak(f *Frame, skip bool) {
+	f.Retain() // want "not Released"
+	if skip {
+		return // retained reference never dropped
+	}
+	f.Release()
+}
+
+func badOverwrite(p *FramePool) {
+	f, m := p.Get()
+	f, m = p.Get() // want "reassigned while it still holds"
+	_ = m
+	f.Release()
+}
+
+func allowedSessionCache(p *FramePool) {
+	f, m := p.Get() //bmcast:allow framebalance fixture: cached for the whole session
+	_ = m
+	_ = f
+}

@@ -109,3 +109,57 @@ func goodSemaphoreRelease(g *gauge) int {
 	g.Acquire() // not a pooled record: reuse is the whole point
 	return g.held
 }
+
+// The CFG engine sees releases on every path, not just straight-line
+// statement order: if-init releases, loop back-edges and defers are all
+// modeled.
+
+func badReleaseInIfInit(p *pool, r *record) {
+	if q := p.get(); q != nil {
+		p.release(r)
+	} else {
+		p.release(r)
+	}
+	r.id = 4 // want "used after being released"
+}
+
+func consume(int) {}
+
+func badDeferAfterRelease(p *pool) {
+	r := p.get()
+	p.release(r)
+	defer consume(r.id) // want "used after being released"
+}
+
+func goodDeferredReleaseRunsLast(p *pool) int {
+	r := p.get()
+	defer p.release(r)
+	return r.id // the deferred release has not happened yet
+}
+
+// lease has an exported Release API on a non-pool receiver and its type
+// is never pushed onto a free list: returning a lease is not recycling
+// memory, and touching it afterwards is legal.
+type lease struct{ state int }
+
+type controller struct{ leases []*lease }
+
+func (c *controller) Release(l *lease) { l.state = 2 }
+
+func goodLeaseReleaseIsNotPooling(c *controller, l *lease) int {
+	if c == nil {
+		return 0
+	}
+	c.Release(l)
+	return l.state // still a live object, not recycled memory
+}
+
+// An exported Put on a pool-named receiver is pooling, evidence or not.
+type bufPool struct{ items []*record }
+
+func (p *bufPool) Put(r *record) { p.items = append(p.items, r) }
+
+func badExportedPutOnPool(pp *bufPool, r *record) {
+	pp.Put(r)
+	r.id = 5 // want "used after being released"
+}

@@ -1,0 +1,64 @@
+// Fixture for the simdrift analyzer: type-checked as a simulation
+// package, so every scheduling-nondeterminism source must be flagged
+// unless a correctly placed //bmcast:allow simdrift directive covers it.
+package fixture
+
+import "time"
+
+func badGo(work func()) {
+	go work() // want "go statement"
+}
+
+func badGoClosure(n int) {
+	go func() { _ = n }() // want "go statement"
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "schedules on the wall clock"
+}
+
+func badTimers(done func()) {
+	_ = time.After(time.Second)  // want "schedules on the wall clock"
+	_ = time.Tick(time.Second)   // want "schedules on the wall clock"
+	t := time.NewTimer(0)        // want "schedules on the wall clock"
+	k := time.NewTicker(1)       // want "schedules on the wall clock"
+	a := time.AfterFunc(0, done) // want "schedules on the wall clock"
+	_, _, _ = t, k, a
+}
+
+func badRacySelect(a, b chan int) int {
+	select { // want "resolves readiness ties nondeterministically"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func goodSingleCaseSelect(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+func goodSelectWithDefault(a chan int) int {
+	// One live case plus default never races: default fires exactly when
+	// the single channel is not ready.
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func clockReadsBelongToWalltime() {
+	// time.Now is the walltime analyzer's finding, not simdrift's; with
+	// only simdrift running this line must stay silent.
+	_ = time.Now()
+}
+
+func allowedSubstrate(work func()) {
+	go work() //bmcast:allow simdrift fixture: serialized coroutine substrate
+}

@@ -7,23 +7,20 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-// walltimeForbidden are the package-level functions of "time" that read or
-// act on the wall clock. Pure value constructors (time.Duration arithmetic,
+// walltimeForbidden are the package-level functions of "time" that read
+// the wall clock. Pure value constructors (time.Duration arithmetic,
 // time.Unix on stored stamps) are fine — it is the *clock* that breaks
-// determinism, not the types.
+// determinism, not the types. The scheduling side of the time package
+// (Sleep, After, timers) is owned by the simdrift analyzer: those stall
+// or wake goroutines on real time, which is a scheduling hazard rather
+// than a clock read.
 var walltimeForbidden = map[string]bool{
-	"Now":       true,
-	"Since":     true,
-	"Until":     true,
-	"Sleep":     true,
-	"After":     true,
-	"AfterFunc": true,
-	"Tick":      true,
-	"NewTimer":  true,
-	"NewTicker": true,
+	"Now":   true,
+	"Since": true,
+	"Until": true,
 }
 
-// WalltimeAnalyzer forbids wall-clock access in simulation packages.
+// WalltimeAnalyzer forbids wall-clock reads in simulation packages.
 //
 // Simulation code advances on sim.Kernel's virtual clock only; a single
 // time.Now() smuggled into a model makes runs differ between machines and
@@ -33,8 +30,8 @@ var walltimeForbidden = map[string]bool{
 // line-anchored //bmcast:allow walltime directive instead.
 var WalltimeAnalyzer = &analysis.Analyzer{
 	Name: "walltime",
-	Doc: "forbid time.Now/Since/Sleep/timers in simulation packages; " +
-		"sim code must advance on sim.Kernel time only",
+	Doc: "forbid time.Now/Since/Until in simulation packages; " +
+		"sim code must read sim.Kernel time only",
 	Run: runWalltime,
 }
 

@@ -114,6 +114,7 @@ func TestRegistryConcurrentRegistration(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
+		//bmcast:allow simdrift test exercises cross-goroutine registry safety, not sim behavior
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 100; j++ {

@@ -42,6 +42,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	p.transferFn = func() { p.transfer() }
 	k.procs++
 	k.notifyProc(ProcSpawn, name)
+	//bmcast:allow simdrift coroutine substrate: control is handed off strictly serially over resume channels
 	go func() {
 		<-p.resume // wait until the kernel hands us control
 		defer func() {

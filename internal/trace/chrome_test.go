@@ -45,7 +45,8 @@ func goldenRecorder() *Recorder {
 
 	c.now = sim.Time(40 * sim.Millisecond)
 	phase.End()
-	r.Begin("node0", "phase", "BareMetal") // stays open: exports "unfinished"
+	//bmcast:allow spanleak stays open on purpose: the test asserts the "unfinished" export
+	r.Begin("node0", "phase", "BareMetal")
 	c.now = sim.Time(50 * sim.Millisecond)
 	return r
 }
