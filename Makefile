@@ -5,7 +5,7 @@ GO ?= go
 # are run once — their headline metrics are simulated time, which does not
 # depend on iteration count.
 MICRO ?= BenchmarkSimEventThroughput|BenchmarkTrace|BenchmarkAoEHeaderMarshal|BenchmarkBitmap|BenchmarkStoreWrite|BenchmarkMediatedReadRedirect|BenchmarkHistogramPercentile
-MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkFleetDeploy|BenchmarkAblation
+MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkFleetDeploy|BenchmarkElasticity|BenchmarkAblation
 
 BMCASTLINT := bin/bmcastlint
 # LINTJSON, when set, makes the lint target append every bmcastlint
@@ -13,7 +13,7 @@ BMCASTLINT := bin/bmcastlint
 # and uploads the file as the lint artifact.
 LINTJSON ?=
 
-.PHONY: test bench bench-rebase bench-smoke bench-compare lint check chaos
+.PHONY: test bench bench-rebase bench-smoke bench-compare lint check chaos elasticity
 
 test:
 	$(GO) build ./...
@@ -29,6 +29,17 @@ chaos:
 	$(GO) test -race -count=1 \
 		-run 'Fault|Failover|Watchdog|Deadline|Crash|Chaos|DeadServer|Redeploy|MediaError|StopMidFlight' \
 		./internal/core/ ./internal/cloud/ ./internal/testbed/ .
+
+# elasticity runs the control-plane robustness suite under the race
+# detector: admission/shedding, retry budgets, quarantine/probation,
+# storm schedules, the tenant generator, and the end-to-end
+# graceful-degradation cell.
+elasticity:
+	$(GO) test -race -count=1 \
+		-run 'Frontend|Admission|Quarantine|DoubleRelease|Backoff|Retry' ./internal/cloud/
+	$(GO) test -race -count=1 -run 'Storm|ZeroDuration|Overlapping' ./internal/faults/
+	$(GO) test -race -count=1 ./internal/tenants/
+	$(GO) test -race -count=1 -run 'Elasticity' ./internal/experiments/
 
 # lint builds the repository's own vet tool and runs the bmcastlint
 # analyzer suite — the syntactic checks (walltime, seededrand, simdrift,

@@ -191,6 +191,29 @@ func BenchmarkFleetDeployObs(b *testing.B) {
 	}
 }
 
+// BenchmarkElasticity measures the elastic control plane cell: open-loop
+// tenant traffic admitted through the bounded queue while the fault storm
+// partitions a rack and crash-loops the storage server. It reports the
+// pre-storm and recovered time-to-bare-metal percentiles — the recovery
+// claim — plus how much the storm shed and quarantined.
+func BenchmarkElasticity(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i + 1)
+		r, err := experiments.ElasticityRun(opt, 0,
+			experiments.ElasticProfile(), experiments.ElasticStorm())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre, rec := r.Phases[0], r.Phases[len(r.Phases)-1]
+		b.ReportMetric(pre.BareP50.Seconds(), "sim-s/p50-baremetal-pre")
+		b.ReportMetric(rec.BareP50.Seconds(), "sim-s/p50-baremetal-recovered")
+		b.ReportMetric(rec.BareP99.Seconds(), "sim-s/p99-baremetal-recovered")
+		b.ReportMetric(float64(r.ShedTotal), "shed")
+		b.ReportMetric(float64(r.Quarantines), "quarantines")
+	}
+}
+
 // --- ablations -------------------------------------------------------------
 
 // BenchmarkAblationInterruptStrategy compares the paper's dummy-sector

@@ -40,6 +40,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/guest"
 	"repro/internal/report"
+	"repro/internal/tenants"
 	"repro/internal/testbed"
 )
 
@@ -143,3 +144,36 @@ const (
 func NewController(tb *Testbed, cfg Config, poolSize int) *Controller {
 	return cloud.NewController(tb, cfg, poolSize)
 }
+
+// Frontend is the admission layer in front of a Controller: a bounded
+// priority queue with token-bucket pacing and deadline/overflow shedding
+// (DESIGN.md §12).
+type Frontend = cloud.Frontend
+
+// AdmissionConfig sizes a Frontend's queue and token bucket.
+type AdmissionConfig = cloud.AdmissionConfig
+
+// Priority orders admission: low, normal, high.
+type Priority = cloud.Priority
+
+// NewFrontend attaches an admission frontend to c.
+func NewFrontend(c *Controller, cfg AdmissionConfig) *Frontend {
+	return cloud.NewFrontend(c, cfg)
+}
+
+// TenantProfile shapes open-loop tenant traffic: Poisson arrivals with
+// burst and diurnal modulation, weighted priorities, hold times.
+type TenantProfile = tenants.Profile
+
+// ParseTenantProfile parses the traffic grammar, e.g.
+// "rate=0.25,dur=4m0s,hold=10s,deadline=40s,burst=1m0s/12s/4".
+func ParseTenantProfile(input string) (TenantProfile, error) { return tenants.Parse(input) }
+
+// StormConfig is a declarative fault storm — rack partition, server
+// crash cycles, media-error bursts over one window — that lowers to a
+// FaultSchedule via its Schedule method.
+type StormConfig = faults.StormConfig
+
+// ParseStorm parses the storm grammar, e.g.
+// "at=1m0s,for=30s,links=node0.vmm+node1.vmm,server=server,crashes=2".
+func ParseStorm(input string) (StormConfig, error) { return faults.ParseStorm(input) }

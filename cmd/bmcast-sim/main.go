@@ -6,7 +6,7 @@
 //
 //	bmcast-sim [-image-gb N] [-storage ide|ahci] [-seed S] [-loss P] [-trace]
 //	           [-trace-out FILE] [-metrics] [-metrics-out FILE] [-secondary N]
-//	           [-faults SCHEDULE]
+//	           [-faults SCHEDULE] [-tenants PROFILE [-storm STORM] [-pool N]]
 //
 // -trace-out writes a Chrome trace-event JSON file (load it in Perfetto or
 // chrome://tracing) with one span per deployment phase, mediated command,
@@ -21,6 +21,17 @@
 // linkdown, linkup, partition, loss, corrupt, dup, reorder, crash, restart,
 // and mediaerr (see DESIGN.md §8 for the grammar). The same seed and the
 // same schedule replay the run byte-identically.
+//
+// -tenants switches to the elastic control-plane mode: open-loop tenant
+// traffic (Poisson arrivals with bursts and diurnal modulation) admitted
+// through the bounded queue, optionally under a -storm fault storm, e.g.
+//
+//	bmcast-sim -tenants default -storm default
+//	bmcast-sim -tenants 'rate=0.3,dur=2m0s,hold=10s,deadline=30s' \
+//	           -storm 'at=30s,for=20s,links=node0.vmm,server=server,crashes=2' -pool 8
+//
+// Both flags accept "default" for the fixed "elasticity" experiment cell
+// scenario (see DESIGN.md §12 for the profile and storm grammars).
 package main
 
 import (
@@ -29,12 +40,45 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/guest"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/tenants"
 	"repro/internal/testbed"
 )
+
+// runTenants is the -tenants mode: open-loop tenant traffic through the
+// elastic control plane, optionally under a -storm fault storm, rendered
+// as the same per-phase table as the "elasticity" experiment cell.
+func runTenants(seed int64, pool int, profileStr, stormStr string) {
+	profile := experiments.ElasticProfile()
+	if profileStr != "default" {
+		p, err := tenants.Parse(profileStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-tenants: %v\n", err)
+			os.Exit(2)
+		}
+		profile = p
+	}
+	var storm faults.StormConfig
+	switch stormStr {
+	case "":
+	case "default":
+		storm = experiments.ElasticStorm()
+	default:
+		s, err := faults.ParseStorm(stormStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-storm: %v\n", err)
+			os.Exit(2)
+		}
+		storm = s
+	}
+	opt := experiments.Quick()
+	opt.Seed = seed
+	fmt.Println(experiments.ElasticityTable(opt, pool, profile, storm).String())
+}
 
 func main() {
 	imageGB := flag.Float64("image-gb", 8, "OS image size in GB")
@@ -47,7 +91,19 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the instrument registry as JSON (for bmcast-obs)")
 	secondary := flag.Int("secondary", 0, "number of secondary storage servers (AoE failover targets)")
 	faultSched := flag.String("faults", "", "deterministic fault schedule, e.g. '5s crash server; 20s restart server'")
+	tenantsFlag := flag.String("tenants", "", "elastic control-plane mode: tenant traffic profile, e.g. 'rate=0.25,dur=4m0s,hold=10s,deadline=40s', or 'default'")
+	stormFlag := flag.String("storm", "", "fault storm for -tenants mode, e.g. 'at=1m0s,for=30s,links=node0.vmm+node1.vmm,server=server,crashes=2', or 'default'")
+	pool := flag.Int("pool", 0, "machine pool size for -tenants mode (0 = cell default)")
 	flag.Parse()
+
+	if *tenantsFlag != "" {
+		runTenants(*seed, *pool, *tenantsFlag, *stormFlag)
+		return
+	}
+	if *stormFlag != "" || *pool != 0 {
+		fmt.Fprintln(os.Stderr, "-storm and -pool require -tenants")
+		os.Exit(2)
+	}
 
 	cfg := testbed.DefaultConfig()
 	cfg.Seed = *seed

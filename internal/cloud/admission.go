@@ -1,0 +1,332 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// This file is the admission front end of the control plane: a bounded,
+// priority-ordered request queue in front of Controller.Request, paced by
+// a token bucket and shedding work whose deadline has passed. Under
+// overload the controller degrades gracefully — low-priority requests are
+// shed, the queue never grows past its limit, and the dispatcher never
+// deadlocks (it always either dispatches, sleeps until the next token, or
+// parks until a submission/repool wakes it).
+
+// Priority orders queued requests; higher priorities dispatch first and
+// can evict lower-priority work from a full queue.
+type Priority int
+
+// Request priorities.
+const (
+	PriorityLow Priority = iota
+	PriorityNormal
+	PriorityHigh
+)
+
+func (pr Priority) String() string {
+	return [...]string{"low", "normal", "high"}[pr]
+}
+
+// Shed and lifecycle errors; callers test with errors.Is.
+var (
+	// ErrShedQueueFull marks a request shed because the bounded queue was
+	// full and nothing cheaper could be evicted.
+	ErrShedQueueFull = errors.New("request shed: queue full")
+	// ErrShedDeadline marks a request shed because its deadline passed
+	// before a machine and an admission token were available.
+	ErrShedDeadline = errors.New("request shed: deadline expired")
+	// ErrFrontendClosed marks a request submitted after Close.
+	ErrFrontendClosed = errors.New("admission frontend closed")
+)
+
+// Request is one tenant submission queued at the front end. It resolves
+// to an Instance (admitted and leased) or an error (shed, closed, or the
+// controller's own failure).
+type Request struct {
+	ID       int
+	Strategy Strategy
+	Priority Priority
+	// Deadline, when nonzero, is the absolute sim time by which the
+	// request must be dispatched; past it the request is shed.
+	Deadline sim.Time
+
+	SubmittedAt sim.Time
+	// AdmittedAt is when the dispatcher handed the request to the
+	// controller (zero if shed).
+	AdmittedAt sim.Time
+
+	in      *Instance
+	err     error
+	done    bool
+	changed *sim.Signal
+}
+
+// Wait blocks until the request resolves, returning the leased instance
+// or the shed/deployment error.
+func (r *Request) Wait(p *sim.Proc) (*Instance, error) {
+	p.WaitCond(r.changed, func() bool { return r.done })
+	return r.in, r.err
+}
+
+// Done reports whether the request has resolved.
+func (r *Request) Done() bool { return r.done }
+
+// Instance returns the leased instance once resolved (nil if shed).
+func (r *Request) Instance() *Instance { return r.in }
+
+// Err returns the resolution error (nil if an instance was leased).
+func (r *Request) Err() error { return r.err }
+
+// QueueWait is how long the request sat in the admission queue (zero
+// until dispatched).
+func (r *Request) QueueWait() sim.Duration {
+	if r.AdmittedAt == 0 {
+		return 0
+	}
+	return r.AdmittedAt.Sub(r.SubmittedAt)
+}
+
+// AdmissionConfig bounds the front end.
+type AdmissionConfig struct {
+	// QueueLimit caps queued (not yet dispatched) requests across all
+	// priorities.
+	QueueLimit int
+	// TokenRate is the sustained admission rate (requests per simulated
+	// second); TokenBurst is the bucket capacity. TokenRate <= 0 disables
+	// pacing.
+	TokenRate  float64
+	TokenBurst float64
+}
+
+// DefaultAdmissionConfig bounds the queue at 64 with a 4 req/s sustained
+// admission rate and bursts of 8.
+func DefaultAdmissionConfig() AdmissionConfig {
+	return AdmissionConfig{QueueLimit: 64, TokenRate: 4, TokenBurst: 8}
+}
+
+// Frontend is the admission/queueing layer over a Controller.
+type Frontend struct {
+	c   *Controller
+	cfg AdmissionConfig
+
+	// queues holds FIFO queues per priority; depth is the total.
+	queues [PriorityHigh + 1][]*Request
+	depth  int
+	closed bool
+
+	tokens     float64
+	lastRefill sim.Time
+
+	work *sim.Signal
+
+	Submitted     metrics.Counter
+	Admitted      metrics.Counter
+	ShedQueueFull metrics.Counter
+	ShedDeadline  metrics.Counter
+	QueueDepth    metrics.Gauge
+	QueueWait     metrics.Histogram
+	// MaxQueueDepth is the high-water mark — the boundedness witness.
+	MaxQueueDepth int
+
+	requests []*Request
+	nextID   int
+}
+
+// NewFrontend wires an admission front end onto c and starts its
+// dispatcher.
+func NewFrontend(c *Controller, cfg AdmissionConfig) *Frontend {
+	f := &Frontend{
+		c:          c,
+		cfg:        cfg,
+		work:       c.tb.K.NewSignal("cloud.admit.work"),
+		lastRefill: c.tb.K.Now(),
+		tokens:     cfg.TokenBurst,
+	}
+	m := c.tb.Metrics
+	m.RegisterCounter("cloud.admit.submitted", &f.Submitted)
+	m.RegisterCounter("cloud.admit.admitted", &f.Admitted)
+	m.RegisterCounter("cloud.admit.shed_queue_full", &f.ShedQueueFull)
+	m.RegisterCounter("cloud.admit.shed_deadline", &f.ShedDeadline)
+	m.RegisterGauge("cloud.admit.queue_depth", &f.QueueDepth)
+	m.RegisterHistogram("cloud.admit.queue_wait", &f.QueueWait)
+	c.onFree = func() { f.work.Broadcast() }
+	c.tb.K.Spawn("cloud.admit.dispatch", f.dispatch)
+	return f
+}
+
+// Controller returns the controller behind the front end (for Release).
+func (f *Frontend) Controller() *Controller { return f.c }
+
+// Requests returns every request ever submitted, in submission order.
+func (f *Frontend) Requests() []*Request {
+	out := make([]*Request, len(f.requests))
+	copy(out, f.requests)
+	return out
+}
+
+// Submit enqueues a request. It never blocks: if the queue is full and no
+// lower-priority or expired entry can be evicted, the request resolves
+// immediately with ErrShedQueueFull. Use Request.Wait for the outcome.
+func (f *Frontend) Submit(strategy Strategy, prio Priority, deadline sim.Time) *Request {
+	r := &Request{
+		ID:          f.nextID,
+		Strategy:    strategy,
+		Priority:    prio,
+		Deadline:    deadline,
+		SubmittedAt: f.c.tb.K.Now(),
+		changed:     f.c.tb.K.NewSignal("cloud.request"),
+	}
+	f.nextID++
+	f.requests = append(f.requests, r)
+	f.Submitted.Inc()
+	if f.closed {
+		f.resolve(r, nil, fmt.Errorf("cloud: request %d: %w", r.ID, ErrFrontendClosed))
+		return r
+	}
+	if f.cfg.QueueLimit > 0 && f.depth >= f.cfg.QueueLimit && !f.evictFor(prio) {
+		f.ShedQueueFull.Inc()
+		f.resolve(r, nil, fmt.Errorf("cloud: request %d (%v): %w", r.ID, prio, ErrShedQueueFull))
+		return r
+	}
+	f.queues[prio] = append(f.queues[prio], r)
+	f.depth++
+	if f.depth > f.MaxQueueDepth {
+		f.MaxQueueDepth = f.depth
+	}
+	f.QueueDepth.Set(float64(f.depth))
+	f.work.Broadcast()
+	return r
+}
+
+// Close stops intake; queued requests still dispatch, then the
+// dispatcher exits.
+func (f *Frontend) Close() {
+	f.closed = true
+	f.work.Broadcast()
+}
+
+// evictFor frees one queue slot for an incoming request of priority
+// incoming: first by shedding any expired entry, then by shedding the
+// newest entry of the lowest priority strictly below incoming. Reports
+// whether a slot was freed.
+func (f *Frontend) evictFor(incoming Priority) bool {
+	now := f.c.tb.K.Now()
+	for pr := PriorityLow; pr <= PriorityHigh; pr++ {
+		for i, r := range f.queues[pr] {
+			if r.Deadline != 0 && now > r.Deadline {
+				f.queues[pr] = append(f.queues[pr][:i:i], f.queues[pr][i+1:]...)
+				f.shedQueued(r, ErrShedDeadline)
+				return true
+			}
+		}
+	}
+	for pr := PriorityLow; pr < incoming; pr++ {
+		if q := f.queues[pr]; len(q) > 0 {
+			r := q[len(q)-1]
+			f.queues[pr] = q[:len(q)-1]
+			f.shedQueued(r, ErrShedQueueFull)
+			return true
+		}
+	}
+	return false
+}
+
+// shedQueued drops an already-queued request (the caller has removed it
+// from its queue).
+func (f *Frontend) shedQueued(r *Request, cause error) {
+	f.depth--
+	f.QueueDepth.Set(float64(f.depth))
+	if errors.Is(cause, ErrShedDeadline) {
+		f.ShedDeadline.Inc()
+	} else {
+		f.ShedQueueFull.Inc()
+	}
+	f.resolve(r, nil, fmt.Errorf("cloud: request %d (%v): %w", r.ID, r.Priority, cause))
+}
+
+func (f *Frontend) resolve(r *Request, in *Instance, err error) {
+	r.in, r.err, r.done = in, err, true
+	r.changed.Broadcast()
+}
+
+// refill accrues admission tokens up to the burst cap.
+func (f *Frontend) refill(now sim.Time) {
+	if f.cfg.TokenRate <= 0 {
+		f.tokens = 1 // pacing disabled: always one token available
+		return
+	}
+	f.tokens += f.cfg.TokenRate * now.Sub(f.lastRefill).Seconds()
+	f.lastRefill = now
+	if f.tokens > f.cfg.TokenBurst {
+		f.tokens = f.cfg.TokenBurst
+	}
+}
+
+// peek returns the next dispatchable request — highest priority first,
+// FIFO within a priority — shedding expired heads along the way.
+func (f *Frontend) peek(now sim.Time) *Request {
+	for pr := PriorityHigh; pr >= PriorityLow; pr-- {
+		for len(f.queues[pr]) > 0 {
+			r := f.queues[pr][0]
+			if r.Deadline != 0 && now > r.Deadline {
+				f.queues[pr] = f.queues[pr][1:]
+				f.shedQueued(r, ErrShedDeadline)
+				continue
+			}
+			return r
+		}
+	}
+	return nil
+}
+
+// pop removes r (the current head of its priority queue).
+func (f *Frontend) pop(r *Request) {
+	f.queues[r.Priority] = f.queues[r.Priority][1:]
+	f.depth--
+	f.QueueDepth.Set(float64(f.depth))
+}
+
+// dispatch is the front end's single dispatcher process. Each iteration
+// either dispatches one request, sleeps until the next token accrues, or
+// parks on the work signal (kicked by Submit, Close, and every machine
+// returned to the pool) — so it can never spin and never deadlock.
+func (f *Frontend) dispatch(p *sim.Proc) {
+	for {
+		now := p.Now()
+		f.refill(now)
+		r := f.peek(now)
+		if r == nil {
+			if f.closed {
+				return
+			}
+			p.Wait(f.work)
+			continue
+		}
+		if f.c.FreeMachines() == 0 {
+			// Every machine is leased or quarantined; a repool (release,
+			// reclaim, or probation pass) kicks the work signal.
+			p.Wait(f.work)
+			continue
+		}
+		if f.tokens < 1 {
+			// Deterministic pacing: sleep exactly until the next token.
+			wait := sim.Duration((1 - f.tokens) / f.cfg.TokenRate * float64(sim.Second))
+			if wait < 1 {
+				wait = 1
+			}
+			p.Sleep(wait)
+			continue
+		}
+		f.pop(r)
+		f.tokens--
+		r.AdmittedAt = p.Now()
+		f.QueueWait.Observe(r.QueueWait())
+		f.Admitted.Inc()
+		in, err := f.c.Request(r.Strategy)
+		f.resolve(r, in, err)
+	}
+}

@@ -1,0 +1,195 @@
+package cloud_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/sim"
+)
+
+// unpaced is an admission config with the token bucket disabled, so
+// tests exercise queueing and shedding in isolation.
+func unpaced(limit int) cloud.AdmissionConfig {
+	return cloud.AdmissionConfig{QueueLimit: limit, TokenRate: 0, TokenBurst: 0}
+}
+
+// TestFrontendDispatchesAndPrioritizes: requests queue while the pool is
+// busy, and on the next free machine the high-priority request jumps the
+// earlier low-priority one.
+func TestFrontendDispatchesAndPrioritizes(t *testing.T) {
+	tb, c := testController(1)
+	f := cloud.NewFrontend(c, unpaced(8))
+	var low, high *cloud.Request
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		a := f.Submit(cloud.StrategyBMcast, cloud.PriorityNormal, 0)
+		in, err := a.Wait(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !in.WaitReady(p) {
+			t.Errorf("first lease failed: %v", in.Err())
+			return
+		}
+		// Pool now empty: these two queue behind the busy machine.
+		low = f.Submit(cloud.StrategyBMcast, cloud.PriorityLow, 0)
+		high = f.Submit(cloud.StrategyBMcast, cloud.PriorityHigh, 0)
+		in.WaitBareMetal(p)
+		if err := c.Release(in); err != nil {
+			t.Error(err)
+			return
+		}
+		// The high-priority request must win the freed machine.
+		hin, err := high.Wait(p)
+		if err != nil {
+			t.Errorf("high-priority request: %v", err)
+			return
+		}
+		if low.Done() {
+			t.Error("low-priority request dispatched before high")
+		}
+		if hin.WaitReady(p) {
+			hin.WaitBareMetal(p)
+			if err := c.Release(hin); err != nil {
+				t.Error(err)
+			}
+		}
+		if lin, err := low.Wait(p); err != nil {
+			t.Errorf("low-priority request: %v", err)
+		} else if !lin.WaitReady(p) {
+			t.Errorf("low-priority lease failed: %v", lin.Err())
+		}
+	})
+	tb.K.RunUntil(sim.Time(2 * sim.Hour))
+	if low == nil || high == nil || !low.Done() || !high.Done() {
+		t.Fatal("queued requests never resolved")
+	}
+	if high.AdmittedAt >= low.AdmittedAt {
+		t.Fatalf("high admitted at %v, low at %v: priority order violated",
+			high.AdmittedAt, low.AdmittedAt)
+	}
+	if f.Admitted.Value() != 3 {
+		t.Fatalf("Admitted = %d, want 3", f.Admitted.Value())
+	}
+}
+
+// TestFrontendQueueBoundAndEviction: the queue never exceeds its limit; a
+// full queue sheds the incoming request unless a lower-priority entry can
+// be evicted for it.
+func TestFrontendQueueBoundAndEviction(t *testing.T) {
+	tb, c := testController(1)
+	f := cloud.NewFrontend(c, unpaced(2))
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		busy := f.Submit(cloud.StrategyBMcast, cloud.PriorityHigh, 0)
+		in, err := busy.Wait(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		in.WaitReady(p)
+		// Queue is empty, pool is empty: fill the queue with two lows.
+		l1 := f.Submit(cloud.StrategyBMcast, cloud.PriorityLow, 0)
+		l2 := f.Submit(cloud.StrategyBMcast, cloud.PriorityLow, 0)
+		// A third low finds the queue full and nothing below it: shed.
+		l3 := f.Submit(cloud.StrategyBMcast, cloud.PriorityLow, 0)
+		if _, err := l3.Wait(p); !errors.Is(err, cloud.ErrShedQueueFull) {
+			t.Errorf("overflow low = %v, want ErrShedQueueFull", err)
+		}
+		// A high evicts the newest low (l2) to take its slot.
+		h := f.Submit(cloud.StrategyBMcast, cloud.PriorityHigh, 0)
+		if _, err := l2.Wait(p); !errors.Is(err, cloud.ErrShedQueueFull) {
+			t.Errorf("evicted low = %v, want ErrShedQueueFull", err)
+		}
+		if h.Done() || l1.Done() {
+			t.Error("surviving queued requests resolved early")
+		}
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if f.MaxQueueDepth > 2 {
+		t.Fatalf("MaxQueueDepth = %d, want <= 2 (bounded queue)", f.MaxQueueDepth)
+	}
+	if f.ShedQueueFull.Value() != 2 {
+		t.Fatalf("ShedQueueFull = %d, want 2", f.ShedQueueFull.Value())
+	}
+}
+
+// TestFrontendDeadlineShedding: a queued request whose deadline passes
+// before a machine frees up is shed with ErrShedDeadline at dispatch
+// time.
+func TestFrontendDeadlineShedding(t *testing.T) {
+	tb, c := testController(1)
+	f := cloud.NewFrontend(c, unpaced(8))
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		busy := f.Submit(cloud.StrategyBMcast, cloud.PriorityNormal, 0)
+		in, err := busy.Wait(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		in.WaitReady(p)
+		in.WaitBareMetal(p)
+		// This request expires long before the machine is released below.
+		doomed := f.Submit(cloud.StrategyBMcast, cloud.PriorityHigh, p.Now().Add(5*sim.Second))
+		p.Sleep(30 * sim.Second)
+		if err := c.Release(in); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := doomed.Wait(p); !errors.Is(err, cloud.ErrShedDeadline) {
+			t.Errorf("expired request = %v, want ErrShedDeadline", err)
+		}
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if f.ShedDeadline.Value() != 1 {
+		t.Fatalf("ShedDeadline = %d, want 1", f.ShedDeadline.Value())
+	}
+}
+
+// TestFrontendTokenBucketPacing: with a 1-token/s bucket of depth 1,
+// back-to-back submissions are admitted at least a second apart even with
+// free machines waiting.
+func TestFrontendTokenBucketPacing(t *testing.T) {
+	tb, c := testController(3)
+	f := cloud.NewFrontend(c, cloud.AdmissionConfig{QueueLimit: 8, TokenRate: 1, TokenBurst: 1})
+	var reqs []*cloud.Request
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			reqs = append(reqs, f.Submit(cloud.StrategyBMcast, cloud.PriorityNormal, 0))
+		}
+		for _, r := range reqs {
+			if _, err := r.Wait(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if len(reqs) != 3 {
+		t.Fatal("submissions never ran")
+	}
+	for i := 1; i < len(reqs); i++ {
+		gap := reqs[i].AdmittedAt.Sub(reqs[i-1].AdmittedAt)
+		if gap < 999*sim.Millisecond {
+			t.Fatalf("admissions %d→%d only %v apart, want >= 1s", i-1, i, gap)
+		}
+	}
+	if w := reqs[2].QueueWait(); w <= 0 {
+		t.Fatalf("third request QueueWait = %v, want > 0", w)
+	}
+}
+
+// TestFrontendClosed: submissions after Close resolve immediately with
+// ErrFrontendClosed.
+func TestFrontendClosed(t *testing.T) {
+	tb, c := testController(1)
+	f := cloud.NewFrontend(c, unpaced(4))
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		f.Close()
+		r := f.Submit(cloud.StrategyBMcast, cloud.PriorityHigh, 0)
+		if _, err := r.Wait(p); !errors.Is(err, cloud.ErrFrontendClosed) {
+			t.Errorf("post-close submit = %v, want ErrFrontendClosed", err)
+		}
+	})
+	tb.K.RunUntil(sim.Time(sim.Minute))
+}

@@ -7,10 +7,13 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/ethernet"
 	"repro/internal/guest"
 	"repro/internal/hw/disk"
 	"repro/internal/metrics"
@@ -18,6 +21,11 @@ import (
 	"repro/internal/testbed"
 	"repro/internal/trace"
 )
+
+// ErrAlreadyReleased is the stable error returned when Release is called
+// on an instance whose lease has already ended. Callers test for it with
+// errors.Is.
+var ErrAlreadyReleased = errors.New("instance already released")
 
 // Strategy selects how an instance's OS is deployed.
 type Strategy int
@@ -90,11 +98,103 @@ func (in *Instance) Err() error { return in.err }
 // metric.
 func (in *Instance) TimeToReady() sim.Duration { return in.ReadyAt.Sub(in.RequestedAt) }
 
+// TimeToBareMetal is the request-to-devirtualized latency, the paper's
+// end-state metric (0 until the hand-off completes).
+func (in *Instance) TimeToBareMetal() sim.Duration {
+	if in.BareMetalAt == 0 {
+		return 0
+	}
+	return in.BareMetalAt.Sub(in.RequestedAt)
+}
+
 // WaitReady blocks until the instance is usable (or failed), reporting
 // success.
 func (in *Instance) WaitReady(p *sim.Proc) bool {
 	p.WaitCond(in.changed, func() bool { return in.state == StateReady || in.state == StateFailed })
 	return in.state == StateReady
+}
+
+// WaitBareMetal blocks until the instance's VMM has melted away (or the
+// deployment failed), reporting whether bare metal was reached. Tenants
+// that release after this point hand back a quiescent machine.
+func (in *Instance) WaitBareMetal(p *sim.Proc) bool {
+	p.WaitCond(in.changed, func() bool { return in.BareMetalAt != 0 || in.state == StateFailed })
+	return in.BareMetalAt != 0
+}
+
+// RetryPolicy governs per-lease redeploy attempts: a budget of retries
+// and a seeded exponential backoff with jitter between attempts. It
+// replaces the flat retry counter the controller started with — the
+// backoff spaces retries out so a storm of failing deployments does not
+// hammer a recovering storage server in lockstep.
+type RetryPolicy struct {
+	// Budget caps how many times a failed BMcast deployment is retried
+	// on a fresh machine before the instance is marked failed.
+	Budget int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it, capped at MaxBackoff. Zero disables backoff.
+	BaseBackoff sim.Duration
+	MaxBackoff  sim.Duration
+	// JitterFrac spreads each backoff uniformly over ±JitterFrac of its
+	// value, drawn from the kernel's seeded source, so simultaneous
+	// failures do not retry at the same instant.
+	JitterFrac float64
+	// LeaseWait bounds how long a redeploy may wait for a free machine
+	// when the pool is empty at retry time. Zero keeps the original
+	// fail-fast behavior; under open-loop tenant load a short wait stops
+	// transient pool exhaustion from burning the whole retry budget.
+	LeaseWait sim.Duration
+}
+
+// DefaultRetryPolicy matches the original controller behavior (one
+// retry) plus a short jittered backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Budget:      1,
+		BaseBackoff: 500 * sim.Millisecond,
+		MaxBackoff:  8 * sim.Second,
+		JitterFrac:  0.2,
+	}
+}
+
+// backoff computes the delay before retry attempt (0-based), drawing
+// jitter from rng.
+func (rp RetryPolicy) backoff(attempt int, rng *rand.Rand) sim.Duration {
+	if rp.BaseBackoff <= 0 {
+		return 0
+	}
+	d := rp.BaseBackoff
+	for i := 0; i < attempt && d < rp.MaxBackoff; i++ {
+		d *= 2
+	}
+	if rp.MaxBackoff > 0 && d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	if rp.JitterFrac > 0 {
+		spread := (2*rng.Float64() - 1) * rp.JitterFrac // uniform in ±JitterFrac
+		d = sim.Duration(float64(d) * (1 + spread))
+	}
+	return d
+}
+
+// HealthPolicy governs machine quarantine: a node whose deployments fail
+// FailThreshold times in a row is pulled out of the free pool and probed
+// after Probation; the probe re-admits it only once its links carry
+// traffic again. This stops one flapping machine from consuming the
+// retry budget of every lease that happens to land on it.
+type HealthPolicy struct {
+	// FailThreshold is the consecutive-failure count that trips
+	// quarantine. 0 disables quarantine entirely.
+	FailThreshold int
+	// Probation is how long a quarantined machine sits out before each
+	// probe.
+	Probation sim.Duration
+}
+
+// DefaultHealthPolicy quarantines after 3 consecutive failures with a
+// 30-second probation.
+func DefaultHealthPolicy() HealthPolicy {
+	return HealthPolicy{FailThreshold: 3, Probation: 30 * sim.Second}
 }
 
 // Controller provisions instances from a machine pool.
@@ -107,39 +207,66 @@ type Controller struct {
 	// Remote backs the image-copy and netboot strategies.
 	Remote *baseline.RemoteStore
 
-	// RedeployRetries caps how many times a failed BMcast deployment is
-	// retried on a fresh machine before the instance is marked failed.
-	RedeployRetries int
+	// Retry is the per-lease redeploy policy (budget + backoff).
+	Retry RetryPolicy
+	// Health is the machine quarantine policy.
+	Health HealthPolicy
 
 	free      []*testbed.Node
 	instances []*Instance
 
-	Requested  metrics.Counter
-	Ready      metrics.Counter
-	Failures   metrics.Counter
-	Redeploys  metrics.Counter
-	TimeToUse  metrics.Histogram
+	// health tracks consecutive deployment failures per machine;
+	// quarantined holds machines pulled from the pool. Both are keyed
+	// maps only ever accessed by node — never iterated — so they cannot
+	// leak map order into the simulation.
+	health      map[*testbed.Node]int
+	quarantined map[*testbed.Node]bool
+
+	Requested   metrics.Counter
+	Ready       metrics.Counter
+	Failures    metrics.Counter
+	Redeploys   metrics.Counter
+	Quarantines metrics.Counter
+	Probes      metrics.Counter
+	TimeToUse   metrics.Histogram
+	TimeToBare  metrics.Histogram
+	// FreePool and Quarantined mirror the pool census as gauges.
+	FreePool    metrics.Gauge
+	Quarantined metrics.Gauge
+
 	nextID     int
 	poolEmpty  int64
 	freeSignal *sim.Signal
+	// onFree, when set (by the admission frontend), is invoked every
+	// time a machine returns to the pool, so the dispatcher can wake.
+	onFree func()
 }
 
 // NewController racks poolSize machines into tb.
 func NewController(tb *testbed.Testbed, tcfg testbed.Config, poolSize int) *Controller {
 	c := &Controller{
-		tb:              tb,
-		tcfg:            tcfg,
-		VMMConfig:       core.DefaultConfig(),
-		BootProfile:     guest.DefaultBootProfile(),
-		Remote:          baseline.NewRemoteStore(tb.K, "cloud-store", baseline.ISCSI, tb.Image),
-		RedeployRetries: 1,
-		freeSignal:      tb.K.NewSignal("cloud.free"),
+		tb:          tb,
+		tcfg:        tcfg,
+		VMMConfig:   core.DefaultConfig(),
+		BootProfile: guest.DefaultBootProfile(),
+		Remote:      baseline.NewRemoteStore(tb.K, "cloud-store", baseline.ISCSI, tb.Image),
+		Retry:       DefaultRetryPolicy(),
+		Health:      DefaultHealthPolicy(),
+		health:      make(map[*testbed.Node]int),
+		quarantined: make(map[*testbed.Node]bool),
+		freeSignal:  tb.K.NewSignal("cloud.free"),
 	}
 	tb.Metrics.RegisterHistogram("cloud.time_to_ready", &c.TimeToUse)
+	tb.Metrics.RegisterHistogram("cloud.time_to_baremetal", &c.TimeToBare)
+	tb.Metrics.RegisterGauge("cloud.free_pool", &c.FreePool)
+	tb.Metrics.RegisterGauge("cloud.quarantined", &c.Quarantined)
+	tb.Metrics.RegisterCounter("cloud.quarantines", &c.Quarantines)
+	tb.Metrics.RegisterCounter("cloud.probes", &c.Probes)
 	c.BootProfile.SpanSectors = tcfg.ImageBytes / 2 / disk.SectorSize
 	for i := 0; i < poolSize; i++ {
 		c.free = append(c.free, tb.AddNode(tcfg))
 	}
+	c.FreePool.Set(float64(len(c.free)))
 	return c
 }
 
@@ -188,8 +315,75 @@ func (c *Controller) lease() (*testbed.Node, error) {
 	}
 	node := c.free[0]
 	c.free = c.free[1:]
+	c.FreePool.Set(float64(len(c.free)))
 	return node, nil
 }
+
+// leaseWait leases a machine, parking on the pool signal for up to wait
+// if the pool is momentarily empty. wait <= 0 degenerates to lease().
+func (c *Controller) leaseWait(p *sim.Proc, wait sim.Duration) (*testbed.Node, error) {
+	deadline := p.Now().Add(wait)
+	for len(c.free) == 0 && p.Now() < deadline {
+		p.WaitTimeout(c.freeSignal, deadline.Sub(p.Now()))
+	}
+	return c.lease()
+}
+
+// repool returns a sanitized machine to the free pool and wakes anything
+// waiting on pool capacity (lease waiters, the admission dispatcher).
+func (c *Controller) repool(n *testbed.Node) {
+	c.free = append(c.free, n)
+	c.FreePool.Set(float64(len(c.free)))
+	c.freeSignal.Broadcast()
+	if c.onFree != nil {
+		c.onFree()
+	}
+}
+
+// noteFailure records a failed deployment against n's health score and
+// either quarantines the machine or returns it to the pool.
+func (c *Controller) noteFailure(n *testbed.Node) {
+	c.health[n]++
+	if c.Health.FailThreshold > 0 && c.health[n] >= c.Health.FailThreshold {
+		c.quarantine(n)
+		return
+	}
+	c.repool(n)
+}
+
+// quarantine pulls n out of circulation and arms the probation probe.
+func (c *Controller) quarantine(n *testbed.Node) {
+	c.quarantined[n] = true
+	c.Quarantines.Inc()
+	c.Quarantined.Set(float64(len(c.quarantined)))
+	if c.tb.Trace != nil {
+		c.tb.Trace.Emit(n.M.Name, "cloud", "quarantine")
+	}
+	c.tb.K.After(c.Health.Probation, func() { c.probe(n) })
+}
+
+// probe decides whether a quarantined machine is fit to serve again. The
+// check is deliberately cheap — are the machine's links carrying frames?
+// — because the deployment path itself is the real test; probation only
+// needs to keep a machine benched while its rack is visibly unhealthy.
+// A failed probe re-arms probation.
+func (c *Controller) probe(n *testbed.Node) {
+	c.Probes.Inc()
+	if n.GuestLink.Down(ethernet.DirBoth) || n.VMMLink.Down(ethernet.DirBoth) {
+		c.tb.K.After(c.Health.Probation, func() { c.probe(n) })
+		return
+	}
+	delete(c.quarantined, n)
+	c.health[n] = 0
+	c.Quarantined.Set(float64(len(c.quarantined)))
+	if c.tb.Trace != nil {
+		c.tb.Trace.Emit(n.M.Name, "cloud", "readmit")
+	}
+	c.repool(n)
+}
+
+// QuarantinedMachines reports how many machines are currently benched.
+func (c *Controller) QuarantinedMachines() int { return len(c.quarantined) }
 
 func (c *Controller) deploy(p *sim.Proc, in *Instance) {
 	in.state = StateDeploying
@@ -216,13 +410,13 @@ func (c *Controller) deploy(p *sim.Proc, in *Instance) {
 	c.fail(in, err)
 }
 
-// deployBMcast runs the BMcast strategy with the capped-retry redeploy
+// deployBMcast runs the BMcast strategy with the budgeted-retry redeploy
 // policy: an attempt that fails before the instance is handed over has
-// its machine scrubbed and returned to the pool, and the lease restarts
-// on a fresh machine, up to RedeployRetries times. A failure after
-// hand-over (the watchdog firing while the tenant already has the
-// machine) only marks the instance failed; the tenant keeps the machine
-// until Release.
+// its machine scrubbed and health-scored (repooled or quarantined), and
+// the lease restarts on a fresh machine after a seeded, jittered backoff,
+// up to Retry.Budget times. A failure after hand-over (the watchdog
+// firing while the tenant already has the machine) only marks the
+// instance failed; the tenant keeps the machine until Release.
 func (c *Controller) deployBMcast(p *sim.Proc, in *Instance) {
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -243,21 +437,27 @@ func (c *Controller) deployBMcast(p *sim.Proc, in *Instance) {
 				return
 			}
 			in.BareMetalAt = p.Now()
+			c.TimeToBare.Observe(in.TimeToBareMetal())
 			if c.tb.Trace != nil {
 				c.tb.Trace.Emit(in.Node.M.Name, "cloud", "baremetal",
 					trace.Int("instance", int64(in.ID)))
 			}
+			in.changed.Broadcast() // wake WaitBareMetal
 			return
 		}
-		// Pre-ready failure: scrub the machine and return it to the pool.
+		// Pre-ready failure: scrub the machine; its health score decides
+		// whether it goes back to the pool or into quarantine.
 		c.reclaim(p, in.Node)
-		if attempt >= c.RedeployRetries {
+		if attempt >= c.Retry.Budget {
 			in.reclaimed = true
 			c.fail(in, fmt.Errorf("cloud: instance %d failed after %d deployment attempts: %w",
 				in.ID, attempt+1, err))
 			return
 		}
-		node, lerr := c.lease()
+		if d := c.Retry.backoff(attempt, c.tb.K.Rand()); d > 0 {
+			p.Sleep(d)
+		}
+		node, lerr := c.leaseWait(p, c.Retry.LeaseWait)
 		if lerr != nil {
 			in.reclaimed = true
 			c.fail(in, fmt.Errorf("cloud: instance %d redeploy: %w", in.ID, lerr))
@@ -269,15 +469,14 @@ func (c *Controller) deployBMcast(p *sim.Proc, in *Instance) {
 	}
 }
 
-// reclaim sanitizes a machine whose deployment failed and returns it to
-// the free pool.
+// reclaim sanitizes a machine whose deployment failed and hands it to
+// the health policy, which repools or quarantines it.
 func (c *Controller) reclaim(p *sim.Proc, n *testbed.Node) {
 	if n.VMM != nil {
 		n.VMM.Scrub(p) // drain mediation, detach taps, leave virtualization
 	}
 	c.scrub(n)
-	c.free = append(c.free, n)
-	c.freeSignal.Broadcast()
+	c.noteFailure(n)
 }
 
 // scrub sanitizes a machine between leases: blocks return to zero (as a
@@ -302,6 +501,7 @@ func (c *Controller) fail(in *Instance, err error) {
 func (c *Controller) markReady(p *sim.Proc, in *Instance) {
 	in.ReadyAt = p.Now()
 	in.state = StateReady
+	c.health[in.Node] = 0 // a successful deployment clears the failure streak
 	c.Ready.Inc()
 	c.TimeToUse.Observe(in.TimeToReady())
 	if c.tb.Trace != nil {
@@ -318,6 +518,9 @@ func (c *Controller) markReady(p *sim.Proc, in *Instance) {
 // the state change, and for a post-ready failure the sanitization runs
 // asynchronously (the dead VMM must first drain and detach).
 func (c *Controller) Release(in *Instance) error {
+	if in.state == StateReleased {
+		return fmt.Errorf("cloud: instance %d: %w", in.ID, ErrAlreadyReleased)
+	}
 	if in.state != StateReady && in.state != StateFailed {
 		return fmt.Errorf("cloud: instance %d is %v, not releasable", in.ID, in.state)
 	}
@@ -336,7 +539,6 @@ func (c *Controller) Release(in *Instance) error {
 		return nil
 	}
 	c.scrub(in.Node)
-	c.free = append(c.free, in.Node)
-	c.freeSignal.Broadcast()
+	c.repool(in.Node)
 	return nil
 }

@@ -1,10 +1,12 @@
 package cloud_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/cloud"
+	"repro/internal/ethernet"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -124,7 +126,7 @@ func TestReleaseRequiresReady(t *testing.T) {
 func TestDeadServerFailsInstanceAndReclaimsMachine(t *testing.T) {
 	tb, c := testController(1)
 	c.VMMConfig.StallTimeout = 2 * sim.Second
-	c.RedeployRetries = 1
+	c.Retry.Budget = 1
 	tb.Server.Crash() // dead before the first request
 	var in *cloud.Instance
 	tb.K.Spawn("tenant", func(p *sim.Proc) {
@@ -177,7 +179,7 @@ func TestDeadServerFailsInstanceAndReclaimsMachine(t *testing.T) {
 func TestRedeployRecoversAfterServerRestart(t *testing.T) {
 	tb, c := testController(2)
 	c.VMMConfig.StallTimeout = 2 * sim.Second
-	c.RedeployRetries = 3
+	c.Retry.Budget = 3
 	tb.Server.Crash()
 	tb.K.After(20*sim.Second, tb.Server.Restart)
 	var in *cloud.Instance
@@ -198,6 +200,136 @@ func TestRedeployRecoversAfterServerRestart(t *testing.T) {
 	}
 	if in.Redeploys == 0 {
 		t.Fatal("lease succeeded without redeploying; outage scenario did not run")
+	}
+}
+
+// TestDoubleReleaseReturnsStableError pins the double-release contract:
+// the second Release returns ErrAlreadyReleased (stable under errors.Is)
+// and the machine is pooled exactly once.
+func TestDoubleReleaseReturnsStableError(t *testing.T) {
+	tb, c := testController(1)
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		in, err := c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !in.WaitReady(p) {
+			t.Errorf("lease failed: %v", in.Err())
+			return
+		}
+		if !in.WaitBareMetal(p) {
+			t.Errorf("never reached bare metal: %v", in.Err())
+			return
+		}
+		if d := in.TimeToBareMetal(); d <= 0 || d < in.TimeToReady() {
+			t.Errorf("TimeToBareMetal = %v (ready %v)", d, in.TimeToReady())
+		}
+		if err := c.Release(in); err != nil {
+			t.Error(err)
+			return
+		}
+		err = c.Release(in)
+		if !errors.Is(err, cloud.ErrAlreadyReleased) {
+			t.Errorf("second release error = %v, want ErrAlreadyReleased", err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "already released") {
+			t.Errorf("second release error not descriptive: %v", err)
+		}
+	})
+	tb.K.RunUntil(sim.Time(sim.Hour))
+	if c.FreeMachines() != 1 {
+		t.Fatalf("free = %d after double release, want 1 (machine pooled once)", c.FreeMachines())
+	}
+}
+
+// TestQuarantineAndProbationReadmit pins the machine health policy: a
+// machine whose deployments keep failing is pulled from the free pool
+// after FailThreshold consecutive failures, held out while probation
+// probes keep failing, and re-admitted (with its score reset) once a
+// probe passes.
+func TestQuarantineAndProbationReadmit(t *testing.T) {
+	tb, c := testController(2)
+	c.VMMConfig.StallTimeout = 2 * sim.Second
+	c.Retry.Budget = 0 // every lease fails on its first bad attempt
+	c.Health = cloud.HealthPolicy{FailThreshold: 2, Probation: 10 * sim.Second}
+	bad := tb.Nodes[0]
+	down := func(v bool) {
+		bad.GuestLink.SetDown(ethernet.DirBoth, v)
+		bad.VMMLink.SetDown(ethernet.DirBoth, v)
+	}
+	down(true)
+	tb.K.After(40*sim.Second, func() { down(false) })
+	tb.K.Spawn("tenant", func(p *sim.Proc) {
+		// First lease lands on the partitioned machine and fails: one
+		// strike, machine back in the pool.
+		a, err := c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Second lease takes the healthy machine out of circulation.
+		b, err := c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if a.WaitReady(p) {
+			t.Error("lease on partitioned machine became ready")
+			return
+		}
+		if c.QuarantinedMachines() != 0 {
+			t.Errorf("quarantined after one strike: %d", c.QuarantinedMachines())
+		}
+		// Second strike trips quarantine.
+		a2, err := c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if a2.WaitReady(p) {
+			t.Error("second lease on partitioned machine became ready")
+			return
+		}
+		if c.QuarantinedMachines() != 1 {
+			t.Errorf("quarantined = %d after second strike, want 1", c.QuarantinedMachines())
+		}
+		// The quarantined machine is out of the free pool: with the healthy
+		// machine leased, the pool is exhausted.
+		if _, err := c.Request(cloud.StrategyBMcast); err == nil {
+			t.Error("request succeeded while only machine is quarantined")
+		}
+		if !b.WaitReady(p) {
+			t.Errorf("healthy lease failed: %v", b.Err())
+			return
+		}
+		// Probes fail while the links stay down; after they come back up
+		// (t=40s) the next probe re-admits the machine.
+		for c.FreeMachines() == 0 {
+			p.Sleep(sim.Second)
+		}
+		if c.QuarantinedMachines() != 0 {
+			t.Errorf("still quarantined after readmit: %d", c.QuarantinedMachines())
+		}
+		if p.Now() < sim.Time(40*sim.Second) {
+			t.Errorf("re-admitted at %v, before links recovered", p.Now())
+		}
+		// The re-admitted machine serves a lease again.
+		a3, err := c.Request(cloud.StrategyBMcast)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !a3.WaitReady(p) {
+			t.Errorf("lease on re-admitted machine failed: %v", a3.Err())
+		}
+	})
+	tb.K.RunUntil(sim.Time(2 * sim.Hour))
+	if c.Quarantines.Value() != 1 {
+		t.Fatalf("Quarantines = %d, want 1", c.Quarantines.Value())
+	}
+	if c.Probes.Value() < 2 {
+		t.Fatalf("Probes = %d, want at least one failed and one passing probe", c.Probes.Value())
 	}
 }
 

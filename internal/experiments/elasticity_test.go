@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// phase finds a named phase in an elasticity result.
+func phase(t *testing.T, r ElasticityResult, name string) ElasticityPhase {
+	t.Helper()
+	for _, ph := range r.Phases {
+		if ph.Name == name {
+			return ph
+		}
+	}
+	t.Fatalf("no phase %q in %+v", name, r.Phases)
+	return ElasticityPhase{}
+}
+
+// TestElasticityGracefulDegradation is the cell's headline invariant: the
+// control plane serves open-loop traffic through the fault storm without
+// deadlocking, keeps the admission queue bounded, degrades by shedding
+// and quarantining rather than failing tenants, and returns to pre-storm
+// time-to-bare-metal once the storm clears.
+func TestElasticityGracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full storm scenario; skipped in -short")
+	}
+	opt := Quick()
+	opt.Seed = 3
+	r, err := ElasticityRun(opt, 0, ElasticProfile(), ElasticStorm())
+	if err != nil {
+		t.Fatal(err) // non-nil means the traffic never drained (deadlock)
+	}
+
+	// The queue stayed bounded and degradation was visible: requests were
+	// shed, failing machines were quarantined and later re-admitted.
+	if r.MaxQueueDepth > 10 {
+		t.Errorf("queue depth %d exceeded the limit 10", r.MaxQueueDepth)
+	}
+	if r.ShedTotal == 0 {
+		t.Error("storm did not shed any requests")
+	}
+	if r.Quarantines < 1 {
+		t.Errorf("quarantines = %d, want >= 1", r.Quarantines)
+	}
+	if r.Probes < r.Quarantines {
+		t.Errorf("probes = %d < quarantines = %d: benched machines were never probed",
+			r.Probes, r.Quarantines)
+	}
+	if r.QuarantinedAtEnd != 0 || r.FreeAtEnd != 12 {
+		t.Errorf("pool did not recover: %d free, %d quarantined, want 12/0",
+			r.FreeAtEnd, r.QuarantinedAtEnd)
+	}
+
+	// Steady state on both sides of the storm is clean; the storm window
+	// is where the shedding concentrates.
+	pre := phase(t, r, "pre-storm")
+	storm := phase(t, r, "storm")
+	rec := phase(t, r, "recovered")
+	if pre.Failed != 0 || pre.Shed != 0 {
+		t.Errorf("pre-storm not clean: %+v", pre)
+	}
+	if storm.Shed == 0 {
+		t.Errorf("storm phase shed nothing: %+v", storm)
+	}
+	if rec.Failed != 0 || rec.Shed != 0 {
+		t.Errorf("recovered phase not clean: %+v", rec)
+	}
+
+	// Recovery: post-storm time-to-bare-metal is within 10% of pre-storm.
+	if max := pre.BareP50 * 11 / 10; rec.BareP50 > max {
+		t.Errorf("recovered p50 bare-metal %v > %v (pre-storm %v + 10%%)",
+			rec.BareP50, max, pre.BareP50)
+	}
+	if max := pre.BareP99 * 11 / 10; rec.BareP99 > max {
+		t.Errorf("recovered p99 bare-metal %v > %v (pre-storm %v + 10%%)",
+			rec.BareP99, max, pre.BareP99)
+	}
+
+	// Every arrival is accounted for, and each phase's rows add up.
+	var requested, ready, shed, failed int
+	for _, ph := range r.Phases {
+		requested += ph.Requested
+		ready += ph.Ready
+		shed += ph.Shed
+		failed += ph.Failed
+	}
+	if requested != r.SubmittedReqs {
+		t.Errorf("phases hold %d requests, frontend saw %d", requested, r.SubmittedReqs)
+	}
+	if ready+shed+failed != requested {
+		t.Errorf("accounting: ready %d + shed %d + failed %d != requested %d",
+			ready, shed, failed, requested)
+	}
+	if int64(requested) != r.Generated {
+		t.Errorf("generated %d arrivals, submitted %d", r.Generated, requested)
+	}
+}
+
+// TestElasticityDeterministic: the registry cell renders byte-identical
+// tables on repeated runs with the same options.
+func TestElasticityDeterministic(t *testing.T) {
+	opt := tiny()
+	opt.DevirtImageBytes = 32 << 20
+	a := Elasticity(opt)[0].String()
+	b := Elasticity(opt)[0].String()
+	if a != b {
+		t.Fatalf("same-seed elasticity runs differ:\n%s\n---\n%s", a, b)
+	}
+	if strings.Contains(a, "FAILED") {
+		t.Fatalf("elasticity cell failed:\n%s", a)
+	}
+	for _, name := range []string{"pre-storm", "storm", "drain", "recovered"} {
+		if !strings.Contains(a, name) {
+			t.Fatalf("missing phase %q in:\n%s", name, a)
+		}
+	}
+}

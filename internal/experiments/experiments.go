@@ -102,6 +102,7 @@ func Registry() []Runner {
 		{"fig14", "Background-copy moderation sweep", Fig14},
 		{"scale", "Scale-up: N simultaneous instances, BMcast vs image copy (§5.1 claim)", Scale},
 		{"fleet", "Fleet fast path: 256 instances from one vblade, serving cache on/off", Fleet},
+		{"elasticity", "Elastic control plane: tenant traffic through a fault storm (shed/quarantine/recover)", Elasticity},
 	}
 }
 

@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		ids[r.ID] = true
 	}
 	for _, want := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "scale", "fleet"} {
+		"fig10", "fig11", "fig12", "fig13", "fig14", "scale", "fleet", "elasticity"} {
 		if !ids[want] {
 			t.Fatalf("registry missing %s", want)
 		}

@@ -52,6 +52,13 @@ func TestSimDrift(t *testing.T) {
 	linttest.Run(t, "testdata/src/simdrift", simFixturePath, lint.SimDriftAnalyzer)
 }
 
+func TestSimDriftTenantGenerator(t *testing.T) {
+	// The tenants arrival-generator shape: open-loop traffic loops must
+	// draw gaps from the kernel's clock and seeded source, never the
+	// wall clock or raw goroutines.
+	linttest.Run(t, "testdata/src/tenantdrift", simFixturePath, lint.SimDriftAnalyzer)
+}
+
 func TestSpanLeak(t *testing.T) {
 	linttest.Run(t, "testdata/src/spanleak", moduleFixturePath, lint.SpanLeakAnalyzer)
 }

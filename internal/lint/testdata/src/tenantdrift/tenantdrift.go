@@ -1,0 +1,64 @@
+// Fixture for the simdrift analyzer shaped like the tenants arrival
+// generator (internal/tenants): open-loop traffic loops are a magnet for
+// wall-clock scheduling — a goroutine pumping arrivals off time.Sleep
+// replays differently on every run. Arrival gaps must elapse on the sim
+// kernel, drawn from its seeded source.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// kernel stands in for sim.Kernel: callbacks scheduled through it run in
+// simulated time, so none of its methods are drift sources.
+type kernel struct{}
+
+func (k *kernel) After(d time.Duration, fn func()) {}
+func (k *kernel) Spawn(name string, fn func())     {}
+
+// badArrivalLoop pumps Poisson arrivals from a raw goroutine on the wall
+// clock: both the goroutine and the sleep break seeded replay.
+func badArrivalLoop(rng *rand.Rand, submit func()) {
+	go func() { // want "go statement"
+		for {
+			gap := time.Duration(rng.ExpFloat64() * float64(time.Second))
+			time.Sleep(gap) // want "schedules on the wall clock"
+			submit()
+		}
+	}()
+}
+
+// badTenantHold parks a tenant's hold period on a wall-clock timer.
+func badTenantHold(release func()) {
+	_ = time.AfterFunc(10*time.Second, release) // want "schedules on the wall clock"
+}
+
+// badDrainRace resolves the generator's drain against a timeout by
+// whichever channel the runtime polls first.
+func badDrainRace(drained, timeout chan struct{}) bool {
+	select { // want "resolves readiness ties nondeterministically"
+	case <-drained:
+		return true
+	case <-timeout:
+		return false
+	}
+}
+
+// goodArrivalLoop reschedules itself through the kernel: gaps elapse in
+// simulated time from the seeded source, so the arrival sequence replays
+// byte-identically.
+func goodArrivalLoop(k *kernel, rng *rand.Rand, submit func()) {
+	var tick func()
+	tick = func() {
+		submit()
+		k.After(time.Duration(rng.ExpFloat64()*float64(time.Second)), tick)
+	}
+	k.Spawn("tenants.arrivals", tick)
+}
+
+// allowedBridge: a real-time driver feeding the generator from outside
+// the simulation is legal only behind an explicit directive.
+func allowedBridge(pump func()) {
+	go pump() //bmcast:allow simdrift fixture: real-time driver bridge
+}

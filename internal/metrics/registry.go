@@ -20,7 +20,10 @@ type Label struct {
 // L is shorthand for constructing a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// Gauge holds a last-written value (e.g. a queue depth or rate).
+// Gauge holds a last-written value (e.g. a queue depth or rate). The
+// set/inc/dec surface covers the population-style gauges (free-pool
+// size, queue depth, quarantine census) that move by one element at a
+// time.
 type Gauge struct {
 	v float64
 }
@@ -30,6 +33,12 @@ func (g *Gauge) Set(v float64) { g.v = v }
 
 // Add adjusts the gauge by delta.
 func (g *Gauge) Add(delta float64) { g.v += delta }
+
+// Inc increases the gauge by one.
+func (g *Gauge) Inc() { g.v++ }
+
+// Dec decreases the gauge by one.
+func (g *Gauge) Dec() { g.v-- }
 
 // Value reports the current gauge value.
 func (g *Gauge) Value() float64 { return g.v }

@@ -74,6 +74,39 @@ func TestRegistryGaugeAndHistogram(t *testing.T) {
 	}
 }
 
+// TestGaugeIncDec pins the set/inc/dec convenience surface the control
+// plane uses for population gauges (free pool, queue depth, quarantine).
+func TestGaugeIncDec(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("cloud.queue_depth")
+	g.Set(3)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Fatalf("after Set(3)+Inc+Inc+Dec, Value = %g, want 4", got)
+	}
+	gs, ok := r.Snapshot().Get("cloud.queue_depth")
+	if !ok || gs.Kind != "gauge" || gs.Value != 4 {
+		t.Fatalf("gauge snapshot = %+v, ok=%v", gs, ok)
+	}
+	// A population gauge can legitimately pass through negative values
+	// (dec before the matching inc lands in the same instant); Dec must
+	// not clamp.
+	var free Gauge
+	free.Dec()
+	if free.Value() != -1 {
+		t.Fatalf("Dec on zero gauge = %g, want -1", free.Value())
+	}
+	// Adopted gauges behave identically to created ones.
+	var depth Gauge
+	r.RegisterGauge("cloud.free_pool", &depth)
+	depth.Inc()
+	if got, _ := r.Snapshot().Get("cloud.free_pool"); got.Value != 1 {
+		t.Fatalf("adopted gauge snapshot = %+v", got)
+	}
+}
+
 func TestRegistryNilSafe(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x")

@@ -47,6 +47,14 @@ func (t *Target) AddMediaError(lba, count int64, until sim.Time) {
 	t.badRanges = append(t.badRanges, mediaError{lba: lba, count: count, until: until})
 }
 
+// HasMediaError reports whether a read of sector lba at instant now would
+// hit an active media-error window — the query form of AddMediaError,
+// used by fault-storm tests and health probes. Overlapping windows stack:
+// the sector stays faulty until every window covering it has expired.
+func (t *Target) HasMediaError(lba int64, now sim.Time) bool {
+	return t.mediaFault(lba, 1, now)
+}
+
 // mediaFault reports whether a read of [lba, lba+count) at instant now
 // hits an active media-error window.
 func (t *Target) mediaFault(lba, count int64, now sim.Time) bool {
