@@ -2,8 +2,13 @@ GO ?= go
 
 # Micro/hot-path benchmarks run long enough for stable numbers; the
 # macro sweeps (full registry, full deployment, per-figure regeneration)
-# are run once — their headline metrics are simulated time, which does not
-# depend on iteration count.
+# are run for one iteration — their headline metrics are simulated time,
+# which does not depend on iteration count. The gated targets (bench,
+# bench-rebase, bench-compare) run each suite with -count 3 and bench2json
+# keeps the minimum ns/op across repeats: host steal on shared machines
+# only ever adds wall time, so min-of-3 estimates the true cost and keeps
+# the ±20% compare gate from flapping. That triples the wall time of a
+# gated bench run; bench-smoke stays single-shot.
 MICRO ?= BenchmarkSimEventThroughput|BenchmarkTrace|BenchmarkAoEHeaderMarshal|BenchmarkBitmap|BenchmarkStoreWrite|BenchmarkMediatedReadRedirect|BenchmarkHistogramPercentile
 MACRO ?= BenchmarkRegistrySweep|BenchmarkDeployment|BenchmarkFleetDeploy|BenchmarkElasticity|BenchmarkAblation
 
@@ -69,8 +74,8 @@ check: test lint
 # (-compare exits non-zero on >20% ns/op or any allocs/op regression), so a
 # regression leaves the tracked file untouched.
 bench:
-	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 1 . && \
-	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 1 . ) \
+	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 3 . && \
+	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 3 . ) \
 	| $(GO) run ./cmd/bench2json -out BENCH_results.new.json -compare BENCH_results.json
 	mv BENCH_results.new.json BENCH_results.json
 
@@ -78,16 +83,16 @@ bench:
 # deliberate suite-shape changes (a new benchmark, a cell added to the
 # registry sweep) where the old numbers are not comparable.
 bench-rebase:
-	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 1 . && \
-	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 1 . ) \
+	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 3 . && \
+	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 3 . ) \
 	| $(GO) run ./cmd/bench2json -out BENCH_results.json
 
 # bench-compare runs the tracked benchmark suite and checks it against the
 # committed baseline without rewriting it; BENCH_compare.json is the fresh
 # run (CI uploads it as an artifact).
 bench-compare:
-	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 1 . && \
-	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 1 . ) \
+	( $(GO) test -run '^$$' -bench '$(MICRO)' -benchmem -benchtime=1s -count 3 . && \
+	  $(GO) test -run '^$$' -bench '$(MACRO)' -benchmem -benchtime=1x -count 3 . ) \
 	| $(GO) run ./cmd/bench2json -out BENCH_compare.json -compare BENCH_results.json
 
 # bench-smoke is the CI variant: every benchmark once, just to prove the

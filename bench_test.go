@@ -83,7 +83,14 @@ func BenchmarkRegistrySweep(b *testing.B) {
 	opt.ImageBytes = 128 << 20
 	opt.DevirtImageBytes = 32 << 20
 	opt.DBSeconds = 2 * sim.Second
-	for _, par := range []int{1, runtime.NumCPU()} {
+	pars := []int{1, runtime.NumCPU()}
+	if pars[1] == 1 {
+		// One CPU: the "parallel" run would duplicate the sequential one's
+		// name (testing would emit parallel-1 and parallel-1#01) and its
+		// result. bench2json aggregates duplicates, but don't produce them.
+		pars = pars[:1]
+	}
+	for _, par := range pars {
 		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				results := experiments.RunAll(experiments.Registry(), opt, par)
@@ -155,6 +162,37 @@ func BenchmarkFleetDeploy(b *testing.B) {
 		b.ReportMetric(float64(r.Served)/r.Elapsed.Seconds()/1e6, "sim-MB/s/served")
 	}
 }
+
+// fleetShards runs the fleet cell on the parallel shard executor
+// (DESIGN.md §13) with the given worker count. Results are byte-identical
+// at every shard count; wall-clock is what varies.
+func fleetShards(b *testing.B, shards int) {
+	const fleet = 32
+	opt := benchOpt()
+	opt.Shards = shards
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i + 1)
+		r, err := experiments.FleetRun(opt, fleet, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.HitRate <= 0.9 {
+			b.Fatalf("fleet cache hit rate = %.4f, want > 0.9", r.HitRate)
+		}
+		b.ReportMetric(r.Worst.Seconds(), "sim-s/worst-ready")
+		b.ReportMetric(r.ReadyP50.Seconds(), "sim-s/p50-ready")
+		b.ReportMetric(r.HitRate, "hit-rate")
+	}
+}
+
+// BenchmarkFleetDeployShards1 and ...Shards8 are the sharded-executor
+// rows of the fleet macro-benchmark: the same cell as
+// BenchmarkFleetDeploy decomposed into one domain per node plus a hub,
+// run by 1 and 8 workers. Shards1 vs Shards8 is the executor's parallel
+// speedup; Shards1 vs the single-kernel BenchmarkFleetDeploy is the cost
+// (or win) of the decomposition itself.
+func BenchmarkFleetDeployShards1(b *testing.B) { fleetShards(b, 1) }
+func BenchmarkFleetDeployShards8(b *testing.B) { fleetShards(b, 8) }
 
 // BenchmarkFleetDeployObs is the traced variant of the fleet deployment:
 // 32 instances with the causal recorder attached, run to bare metal on

@@ -15,8 +15,9 @@
 //
 // With -compare the parsed results are checked against a baseline document:
 // a benchmark regresses when its ns/op grows by more than 20% (wall-clock
-// headroom for machine noise) or its allocs/op grows at all (allocation
-// counts are deterministic, so any increase is a real change). Regressions
+// headroom for machine noise) or its allocs/op grows beyond a 0.001%
+// jitter allowance (allocation counts are near-deterministic; see
+// allocsSlack for why "near"). Regressions
 // are listed on stderr and the exit status is non-zero, which is how
 // `make bench` and the bench-compare CI job gate perf changes.
 package main
@@ -27,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -50,9 +52,20 @@ type Doc struct {
 // nsOpSlack is how much ns/op may grow before it counts as a regression.
 const nsOpSlack = 1.20
 
+// allocsSlack is how much allocs/op may grow before it counts as a
+// regression. Allocation counts are effectively deterministic, so the
+// tolerance is nearly zero — but only nearly: the single-iteration macro
+// cells (fleet, elasticity) count millions of allocations in one shot and
+// pick up O(10) background-runtime allocations (GC bookkeeping, pool
+// victim refills) that vary with wall-clock GC timing. 0.001% forgives
+// that jitter while still flagging one extra allocation per instance in a
+// 256-instance fleet cell; for micro benchmarks averaged over millions of
+// iterations it is indistinguishable from zero tolerance.
+const allocsSlack = 1.00001
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
-	compare := flag.String("compare", "", "baseline JSON; exit non-zero on >20% ns/op or any allocs/op regression")
+	compare := flag.String("compare", "", "baseline JSON; exit non-zero on >20% ns/op or >0.001% allocs/op regression")
 	flag.Parse()
 
 	doc := Doc{Benchmarks: []Benchmark{}}
@@ -80,6 +93,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench2json: read: %v\n", err)
 		os.Exit(1)
 	}
+	doc.Benchmarks = Aggregate(doc.Benchmarks)
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -120,6 +134,56 @@ func main() {
 	}
 }
 
+// dupSuffix matches the #NN counter the testing package appends to
+// repeated sub-benchmark names (b.Run called twice with the same name —
+// e.g. BenchmarkRegistrySweep/parallel-1 and parallel-1#01 on a machine
+// where NumCPU is 1).
+var dupSuffix = regexp.MustCompile(`#\d+`)
+
+// Aggregate collapses result rows that describe the same benchmark into
+// one row per canonical name: the testing package's #NN duplicate
+// suffixes are stripped and iterations are summed. ns/op keeps the
+// minimum across merged rows — scheduler steal and host noise only ever
+// add wall time, so the min of -count=N repeats estimates the true cost
+// and keeps the -compare gate stable on noisy machines — while every
+// other metric is averaged. Without the merge, duplicate names reach
+// the baseline document, and -compare — which matches rows by name —
+// silently checks against whichever duplicate came last.
+func Aggregate(in []Benchmark) []Benchmark {
+	out := make([]Benchmark, 0, len(in))
+	index := make(map[string]int, len(in))    // canonical name -> index in out
+	counts := make(map[string]map[string]int) // canonical name -> metric -> rows merged
+	for _, b := range in {
+		name := dupSuffix.ReplaceAllString(b.Name, "")
+		i, ok := index[name]
+		if !ok {
+			index[name] = len(out)
+			counts[name] = make(map[string]int, len(b.Metrics))
+			for m := range b.Metrics {
+				counts[name][m] = 1
+			}
+			b.Name = name
+			out = append(out, b)
+			continue
+		}
+		out[i].Iterations += b.Iterations
+		for m, v := range b.Metrics {
+			if m == "ns/op" {
+				if cur, seen := out[i].Metrics[m]; !seen || v < cur {
+					out[i].Metrics[m] = v
+				}
+				counts[name][m]++
+				continue
+			}
+			n := counts[name][m]
+			// Running mean; metrics missing from earlier rows start fresh.
+			out[i].Metrics[m] = (out[i].Metrics[m]*float64(n) + v) / float64(n+1)
+			counts[name][m] = n + 1
+		}
+	}
+	return out
+}
+
 // Compare checks every benchmark in cur against its baseline entry. It
 // returns regression descriptions (ns/op growth beyond nsOpSlack, or any
 // allocs/op growth) and informational notes (benchmarks without a baseline
@@ -143,9 +207,10 @@ func Compare(base, cur Doc) (regressions, notes []string) {
 					b.Name, on, cn, (cn/on-1)*100, (nsOpSlack-1)*100))
 		}
 		oa, hadAllocs := o.Metrics["allocs/op"]
-		if ca := b.Metrics["allocs/op"]; hadAllocs && ca > oa {
+		if ca := b.Metrics["allocs/op"]; hadAllocs && ca > oa*allocsSlack {
 			regressions = append(regressions,
-				fmt.Sprintf("%s: allocs/op %.0f -> %.0f (any increase regresses)", b.Name, oa, ca))
+				fmt.Sprintf("%s: allocs/op %.0f -> %.0f (over the %.3f%% jitter allowance)",
+					b.Name, oa, ca, (allocsSlack-1)*100))
 		}
 	}
 	for _, o := range base.Benchmarks {

@@ -61,6 +61,70 @@ func TestCompareToleratesNoiseAndImprovement(t *testing.T) {
 	}
 }
 
+func TestCompareAllocJitterAllowance(t *testing.T) {
+	// Single-iteration macro cells pick up O(10) background-runtime
+	// allocations that vary with GC timing; the 0.001% allowance forgives
+	// that but still flags one extra allocation per fleet instance.
+	base := Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkJitter", map[string]float64{"allocs/op": 5324665}),
+		bench("BenchmarkReal", map[string]float64{"allocs/op": 3578423}),
+	}}
+	cur := Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkJitter", map[string]float64{"allocs/op": 5324671}), // +6 ≈ +0.0001%
+		bench("BenchmarkReal", map[string]float64{"allocs/op": 3578679}),   // +256 ≈ +0.007%
+	}}
+	regs, _ := Compare(base, cur)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkReal") {
+		t.Fatalf("regressions = %v, want exactly BenchmarkReal", regs)
+	}
+}
+
+func TestAggregateCollapsesDuplicateNames(t *testing.T) {
+	in := []Benchmark{
+		bench("BenchmarkRegistrySweep/parallel-1", map[string]float64{"ns/op": 100, "allocs/op": 10}),
+		bench("BenchmarkRegistrySweep/parallel-1#01", map[string]float64{"ns/op": 300, "allocs/op": 10}),
+		bench("BenchmarkOther", map[string]float64{"ns/op": 7}),
+	}
+	out := Aggregate(in)
+	if len(out) != 2 {
+		t.Fatalf("Aggregate left %d rows, want 2: %+v", len(out), out)
+	}
+	got := out[0]
+	if got.Name != "BenchmarkRegistrySweep/parallel-1" {
+		t.Fatalf("canonical name = %q", got.Name)
+	}
+	if got.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2 (summed)", got.Iterations)
+	}
+	if got.Metrics["ns/op"] != 100 {
+		t.Fatalf("ns/op = %v, want min 100", got.Metrics["ns/op"])
+	}
+	if got.Metrics["allocs/op"] != 10 {
+		t.Fatalf("allocs/op = %v, want 10", got.Metrics["allocs/op"])
+	}
+	if out[1].Name != "BenchmarkOther" {
+		t.Fatalf("row order not preserved: %+v", out)
+	}
+}
+
+func TestAggregateHandlesPartialMetrics(t *testing.T) {
+	in := []Benchmark{
+		bench("BenchmarkA", map[string]float64{"ns/op": 100}),
+		bench("BenchmarkA#01", map[string]float64{"ns/op": 200, "hit-rate": 0.5}),
+		bench("BenchmarkA#02", map[string]float64{"ns/op": 300, "hit-rate": 0.7}),
+	}
+	out := Aggregate(in)
+	if len(out) != 1 {
+		t.Fatalf("Aggregate left %d rows, want 1", len(out))
+	}
+	if got := out[0].Metrics["ns/op"]; got != 100 {
+		t.Fatalf("ns/op = %v, want min 100", got)
+	}
+	if got := out[0].Metrics["hit-rate"]; got != 0.6 {
+		t.Fatalf("hit-rate = %v, want 0.6 (mean of the rows that report it)", got)
+	}
+}
+
 func TestCompareHandlesMissingMetrics(t *testing.T) {
 	// Macro benchmarks at -benchtime=1x may lack allocs/op (no -benchmem);
 	// a missing metric on either side must not regress.

@@ -54,6 +54,7 @@ func main() {
 	fleetN := flag.Int("fleet", 0, "override the fleet cell's instance count (0 = scale default)")
 	imageMB := flag.Int64("image-mb", 0, "override the OS image size in MB (0 = scale default)")
 	bootMB := flag.Int64("boot-mb", 0, "override the guest boot bytes in MB for the fleet cell (0 = calibrated profile)")
+	shards := flag.Int("shards", 0, "run the fleet and elasticity cells on the parallel shard executor with up to N workers (0 = single kernel; output is byte-identical at every N >= 1)")
 	flag.Parse()
 
 	if *list {
@@ -78,6 +79,7 @@ func main() {
 	if *bootMB > 0 {
 		opt.BootBytes = *bootMB << 20
 	}
+	opt.Shards = *shards
 
 	var runners []experiments.Runner
 	if *fig == "" {

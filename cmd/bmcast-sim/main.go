@@ -7,6 +7,15 @@
 //	bmcast-sim [-image-gb N] [-storage ide|ahci] [-seed S] [-loss P] [-trace]
 //	           [-trace-out FILE] [-metrics] [-metrics-out FILE] [-secondary N]
 //	           [-faults SCHEDULE] [-tenants PROFILE [-storm STORM] [-pool N]]
+//	           [-shards N] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -shards N runs the simulation on the parallel shard executor
+// (DESIGN.md §13): the testbed is decomposed into one domain per node
+// plus a hub, executed by up to N workers. Output — stdout, trace JSON,
+// metrics — is byte-identical at every N >= 1 for a given seed; it
+// differs from the -shards 0 single-kernel schedule, so compare sharded
+// runs with sharded runs. -cpuprofile and -memprofile write pprof
+// profiles of the run (parity with bmcast-experiments).
 //
 // -trace-out writes a Chrome trace-event JSON file (load it in Perfetto or
 // chrome://tracing) with one span per deployment phase, mediated command,
@@ -38,6 +47,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -52,7 +64,7 @@ import (
 // runTenants is the -tenants mode: open-loop tenant traffic through the
 // elastic control plane, optionally under a -storm fault storm, rendered
 // as the same per-phase table as the "elasticity" experiment cell.
-func runTenants(seed int64, pool int, profileStr, stormStr string) {
+func runTenants(seed int64, pool, shards int, profileStr, stormStr string) {
 	profile := experiments.ElasticProfile()
 	if profileStr != "default" {
 		p, err := tenants.Parse(profileStr)
@@ -77,7 +89,42 @@ func runTenants(seed int64, pool int, profileStr, stormStr string) {
 	}
 	opt := experiments.Quick()
 	opt.Seed = seed
+	opt.Shards = shards
 	fmt.Println(experiments.ElasticityTable(opt, pool, profile, storm).String())
+}
+
+// profileFlags starts a CPU profile and returns a function that stops it
+// and writes the heap profile; either path may be empty.
+func profileFlags(cpuprofile, memprofile string) (stop func()) {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if memprofile != "" {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 }
 
 func main() {
@@ -94,19 +141,31 @@ func main() {
 	tenantsFlag := flag.String("tenants", "", "elastic control-plane mode: tenant traffic profile, e.g. 'rate=0.25,dur=4m0s,hold=10s,deadline=40s', or 'default'")
 	stormFlag := flag.String("storm", "", "fault storm for -tenants mode, e.g. 'at=1m0s,for=30s,links=node0.vmm+node1.vmm,server=server,crashes=2', or 'default'")
 	pool := flag.Int("pool", 0, "machine pool size for -tenants mode (0 = cell default)")
+	shards := flag.Int("shards", 0, "run on the parallel shard executor with up to N workers (0 = single kernel)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	flag.Parse()
 
+	stopProfiles := profileFlags(*cpuprofile, *memprofile)
 	if *tenantsFlag != "" {
-		runTenants(*seed, *pool, *tenantsFlag, *stormFlag)
+		runTenants(*seed, *pool, *shards, *tenantsFlag, *stormFlag)
+		stopProfiles()
 		return
 	}
 	if *stormFlag != "" || *pool != 0 {
 		fmt.Fprintln(os.Stderr, "-storm and -pool require -tenants")
 		os.Exit(2)
 	}
+	if *trace && *shards > 0 {
+		// Kernel debug tracing prints from whichever worker runs a domain;
+		// the interleave would break the sharded byte-identity contract.
+		fmt.Fprintln(os.Stderr, "-trace is not supported with -shards (use -trace-out)")
+		os.Exit(2)
+	}
 
 	cfg := testbed.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	cfg.ImageBytes = int64(*imageGB * float64(1<<30))
 	cfg.EnableTrace = *traceOut != ""
 	switch *storage {
@@ -148,7 +207,8 @@ func main() {
 		fmt.Printf("injecting %.1f%% frame loss on %s's VMM link\n", *loss*100, node.M.Name)
 	}
 
-	tb.K.Spawn("deploy", func(p *sim.Proc) {
+	done := false
+	tb.RunOnNode(node, "deploy", func(p *sim.Proc) {
 		res, err := tb.DeployBMcast(p, node, core.DefaultConfig(), guest.DefaultBootProfile())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deployment failed: %v\n", err)
@@ -187,26 +247,43 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nverification: every image sector has content; provenance:\n")
-		for name, c := range counts {
-			fmt.Printf("  %-28s %d sectors\n", name, c)
+		// Sorted names: map iteration order would leak into stdout and
+		// break the byte-identity contract.
+		names := make([]string, 0, len(counts))
+		for name := range counts {
+			names = append(names, name)
 		}
-		tb.K.Stop()
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-28s %d sectors\n", name, counts[name])
+		}
+		tb.PostToHub(tb.NodeKernel(node), func() {
+			done = true
+			if !tb.Sharded() {
+				tb.K.Stop()
+			}
+		})
 	})
-	tb.K.Run()
+	if tb.Sharded() {
+		tb.ShardRun(func() bool { return done })
+	} else {
+		tb.K.Run()
+	}
 
 	if *traceOut != "" {
+		tr := tb.TraceMerged()
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 			os.Exit(1)
 		}
-		if err := tb.Trace.WriteChromeTrace(f); err != nil {
+		if err := tr.WriteChromeTrace(f); err != nil {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 			os.Exit(1)
 		}
 		f.Close()
 		fmt.Printf("\nwrote %d spans and %d events to %s (open in Perfetto or chrome://tracing)\n",
-			len(tb.Trace.Spans()), len(tb.Trace.Events()), *traceOut)
+			len(tr.Spans()), len(tr.Events()), *traceOut)
 	}
 	if *metricsDump {
 		fmt.Printf("\nmetrics:\n")
@@ -225,4 +302,5 @@ func main() {
 		f.Close()
 		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
+	stopProfiles()
 }

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/guest"
@@ -58,8 +59,13 @@ func main() {
 			panic(err)
 		}
 		fmt.Println("\nlocal disk provenance (sectors):")
-		for name, c := range counts {
-			fmt.Printf("  %-24s %d\n", name, c)
+		names := make([]string, 0, len(counts))
+		for name := range counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-24s %d\n", name, counts[name])
 		}
 		fmt.Printf("\nVM exits while virtualized: %d; traps after de-virtualization: 0 by construction\n",
 			node.M.World.TotalExits())

@@ -369,7 +369,7 @@ func (c *Controller) quarantine(n *testbed.Node) {
 // A failed probe re-arms probation.
 func (c *Controller) probe(n *testbed.Node) {
 	c.Probes.Inc()
-	if n.GuestLink.Down(ethernet.DirBoth) || n.VMMLink.Down(ethernet.DirBoth) {
+	if c.nodeLinksDown(n) {
 		c.tb.K.After(c.Health.Probation, func() { c.probe(n) })
 		return
 	}
@@ -382,12 +382,56 @@ func (c *Controller) probe(n *testbed.Node) {
 	c.repool(n)
 }
 
+// nodeLinksDown reports whether either of n's links is down. On a
+// sharded testbed the probe reads the hub's fault-schedule mirror
+// instead of the node domain's live link state.
+func (c *Controller) nodeLinksDown(n *testbed.Node) bool {
+	if c.tb.Sharded() {
+		return c.tb.NodeLinksDownMirror(c.tb.NodeIndex(n))
+	}
+	return n.GuestLink.Down(ethernet.DirBoth) || n.VMMLink.Down(ethernet.DirBoth)
+}
+
+// runOnNodeWait runs fn as a process on n's shard domain and parks the
+// calling hub process until it returns, yielding fn's error. The hub
+// never reads node state directly: everything it needs comes back by
+// value through the completion post. On a single-threaded testbed it
+// simply calls fn inline.
+func (c *Controller) runOnNodeWait(p *sim.Proc, n *testbed.Node, name string, fn func(np *sim.Proc) error) error {
+	if !c.tb.Sharded() {
+		return fn(p)
+	}
+	var (
+		done bool
+		res  error
+	)
+	sig := c.tb.K.NewSignal(name)
+	nk := c.tb.NodeKernel(n)
+	c.tb.RunOnNode(n, name, func(np *sim.Proc) {
+		err := fn(np)
+		c.tb.PostToHub(nk, func() {
+			res, done = err, true
+			sig.Broadcast()
+		})
+	})
+	for !done {
+		p.Wait(sig)
+	}
+	return res
+}
+
 // QuarantinedMachines reports how many machines are currently benched.
 func (c *Controller) QuarantinedMachines() int { return len(c.quarantined) }
 
 func (c *Controller) deploy(p *sim.Proc, in *Instance) {
 	in.state = StateDeploying
 	in.changed.Broadcast()
+	if c.tb.Sharded() && in.Strategy != StrategyBMcast {
+		// The baseline strategies drive node hardware from the control
+		// plane's process, which is illegal across shard domains.
+		c.fail(in, fmt.Errorf("cloud: strategy %v not supported on a sharded testbed", in.Strategy))
+		return
+	}
 	var err error
 	switch in.Strategy {
 	case StrategyBMcast:
@@ -420,20 +464,32 @@ func (c *Controller) deploy(p *sim.Proc, in *Instance) {
 func (c *Controller) deployBMcast(p *sim.Proc, in *Instance) {
 	var err error
 	for attempt := 0; ; attempt++ {
+		node := in.Node
 		var res *testbed.BMcastResult
-		res, err = c.tb.DeployBMcast(p, in.Node, c.VMMConfig, c.BootProfile)
-		if err == nil && in.Node.VMM.Phase() == core.PhaseFailed {
-			// The guest "booted" against a dead stream (the mediator
-			// tolerates fetch errors); the watchdog is the authority.
-			err = in.Node.VMM.Err()
-		}
+		err = c.runOnNodeWait(p, node, "cloud.deploy.node", func(np *sim.Proc) error {
+			r, e := c.tb.DeployBMcast(np, node, c.VMMConfig, c.BootProfile)
+			if e == nil && node.VMM.Phase() == core.PhaseFailed {
+				// The guest "booted" against a dead stream (the mediator
+				// tolerates fetch errors); the watchdog is the authority.
+				e = node.VMM.Err()
+			}
+			res = r
+			return e
+		})
 		if err == nil {
 			c.markReady(p, in)
 			// The instance is already leased out; the copy finishes in
-			// the background and the VMM melts away.
-			c.tb.WaitBareMetal(p, in.Node, res) // PhaseFailed wakes this too
-			if in.Node.VMM.Phase() == core.PhaseFailed {
-				c.fail(in, in.Node.VMM.Err())
+			// the background and the VMM melts away. res stays node-owned:
+			// the wait and the phase check both run on the node's domain.
+			werr := c.runOnNodeWait(p, node, "cloud.wait.baremetal", func(np *sim.Proc) error {
+				c.tb.WaitBareMetal(np, node, res) // PhaseFailed wakes this too
+				if node.VMM.Phase() == core.PhaseFailed {
+					return node.VMM.Err()
+				}
+				return nil
+			})
+			if werr != nil {
+				c.fail(in, werr)
 				return
 			}
 			in.BareMetalAt = p.Now()
@@ -472,10 +528,13 @@ func (c *Controller) deployBMcast(p *sim.Proc, in *Instance) {
 // reclaim sanitizes a machine whose deployment failed and hands it to
 // the health policy, which repools or quarantines it.
 func (c *Controller) reclaim(p *sim.Proc, n *testbed.Node) {
-	if n.VMM != nil {
-		n.VMM.Scrub(p) // drain mediation, detach taps, leave virtualization
-	}
-	c.scrub(n)
+	_ = c.runOnNodeWait(p, n, "cloud.reclaim.node", func(np *sim.Proc) error {
+		if n.VMM != nil {
+			n.VMM.Scrub(np) // drain mediation, detach taps, leave virtualization
+		}
+		c.scrub(n)
+		return nil
+	})
 	c.noteFailure(n)
 }
 
@@ -538,7 +597,18 @@ func (c *Controller) Release(in *Instance) error {
 		})
 		return nil
 	}
-	c.scrub(in.Node)
-	c.repool(in.Node)
+	if !c.tb.Sharded() {
+		c.scrub(in.Node)
+		c.repool(in.Node)
+		return nil
+	}
+	// Sharded: the wipe runs on the node's domain, and the machine
+	// rejoins the pool when the completion post reaches the hub.
+	node := in.Node
+	nk := c.tb.NodeKernel(node)
+	c.tb.RunOnNode(node, "cloud.release.scrub", func(np *sim.Proc) {
+		c.scrub(node)
+		c.tb.PostToHub(nk, func() { c.repool(node) })
+	})
 	return nil
 }

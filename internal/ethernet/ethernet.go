@@ -6,6 +6,7 @@ package ethernet
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -60,9 +61,11 @@ type FrameOwner interface{ ReleaseFrame(f *Frame) }
 func (f *Frame) InitRef(owner FrameOwner) { f.owner, f.refs = owner, 1 }
 
 // Retain adds a reference to a managed frame (no-op when unmanaged).
+// The count is atomic so copies of one frame fanned out across shard
+// domains (router flood) may release concurrently.
 func (f *Frame) Retain() {
 	if f.owner != nil {
-		f.refs++
+		atomic.AddInt32(&f.refs, 1)
 	}
 }
 
@@ -73,11 +76,11 @@ func (f *Frame) Release() {
 	if f == nil || f.owner == nil {
 		return
 	}
-	f.refs--
-	if f.refs > 0 {
+	n := atomic.AddInt32(&f.refs, -1)
+	if n > 0 {
 		return
 	}
-	if f.refs < 0 {
+	if n < 0 {
 		panic("ethernet: frame released more times than retained")
 	}
 	o := f.owner

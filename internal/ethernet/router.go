@@ -1,0 +1,99 @@
+package ethernet
+
+import (
+	"repro/internal/sim"
+)
+
+// Router is the sharded-mode fabric (DESIGN.md §13): a static
+// source-routed replacement for Switch used when the testbed partitions
+// stations across shard domains. Each station's link lives entirely on
+// the station's domain kernel — both directions serialize on the
+// station's clock — and the switch hop is folded into a single
+// cross-domain post carrying the forwarding latency, so a frame costs no
+// events on any third domain.
+//
+// Unlike Switch, the Router does not learn: every station MAC is
+// registered at Connect time (the testbed knows the full topology), and
+// a frame for an unregistered destination floods like a learning switch
+// would. Forwarding decisions run on the *sender's* kernel, which is
+// deterministic because the MAC table is immutable after build.
+type Router struct {
+	name    string
+	latency sim.Duration
+	ports   []*routerPort
+	table   map[MAC]*routerPort
+}
+
+// NewRouter returns a router with the given store-and-forward latency.
+func NewRouter(name string, latency sim.Duration) *Router {
+	return &Router{name: name, latency: latency, table: make(map[MAC]*routerPort)}
+}
+
+// Connect attaches a new link owned by station kernel k, registering the
+// station's MACs for static forwarding. The caller attaches its station
+// to the A side. Connect must only be called during build, before the
+// shard set runs.
+func (r *Router) Connect(k *sim.Kernel, p LinkParams, macs ...MAC) *Link {
+	l := NewLink(k, p)
+	rp := &routerPort{rt: r, k: k, link: l}
+	l.AttachB(rp)
+	r.ports = append(r.ports, rp)
+	for _, m := range macs {
+		r.table[m] = rp
+	}
+	return l
+}
+
+// routerPort is one station attachment. It is both the link's B-side
+// Port (ingress: runs on the sending station's kernel) and the
+// cross-domain delivery handler (egress: runs on the receiving station's
+// kernel).
+type routerPort struct {
+	rt   *Router
+	k    *sim.Kernel
+	link *Link
+}
+
+// Deliver routes an ingress frame on the sender's kernel: one
+// cross-domain post per egress port, timestamped with the forwarding
+// latency. Hairpins (destination behind the ingress port) are dropped
+// like the learning switch drops them.
+func (rp *routerPort) Deliver(f *Frame) {
+	rt := rp.rt
+	at := rp.k.Now().Add(rt.latency)
+	if f.Dst != Broadcast {
+		if out, ok := rt.table[f.Dst]; ok {
+			if out == rp {
+				f.Release()
+				return
+			}
+			rp.k.PostDeliver(out.k, at, out, f)
+			return
+		}
+	}
+	n := 0
+	for _, out := range rt.ports { // flood
+		if out != rp {
+			n++
+		}
+	}
+	if n == 0 {
+		f.Release()
+		return
+	}
+	for i := 1; i < n; i++ {
+		//bmcast:allow framebalance flood holds n refs total; the post loop below hands off exactly n
+		f.Retain()
+	}
+	for _, out := range rt.ports {
+		if out != rp {
+			rp.k.PostDeliver(out.k, at, out, f)
+		}
+	}
+}
+
+// XDeliver completes the forwarded hop on the receiving station's
+// kernel: the frame starts serializing toward the station (B→A).
+func (rp *routerPort) XDeliver(payload any) {
+	rp.link.SendFromB(payload.(*Frame))
+}

@@ -107,6 +107,7 @@ func ElasticityRun(opt Options, pool int, profile tenants.Profile, storm faults.
 	}
 	tcfg := testbed.DefaultConfig()
 	tcfg.Seed = opt.Seed
+	tcfg.Shards = opt.Shards
 	// The cell's pool shares one gigabit vblade among 12 concurrent
 	// background copies, so a large image keeps every machine saturated
 	// for minutes; cap it so pre-storm steady state has headroom.
@@ -152,13 +153,19 @@ func ElasticityRun(opt Options, pool int, profile tenants.Profile, storm faults.
 	tb.K.Spawn("elasticity.waiter", func(p *sim.Proc) {
 		g.WaitDrained(p)
 		drained = true
-		tb.K.Stop()
+		if !tb.Sharded() {
+			tb.K.Stop() // sharded runs stop at the next window barrier
+		}
 	})
 	// Horizon guard: the graceful-degradation invariant says this loop
 	// terminates, but a bug must surface as an error, not a hang.
 	horizon := sim.Time(profile.Duration + sim.Hour)
-	for !drained && tb.K.Pending() > 0 && tb.K.Now() < horizon {
-		tb.K.RunUntil(tb.K.Now().Add(sim.Minute))
+	if tb.Sharded() {
+		tb.Set.RunUntil(horizon, func() bool { return drained })
+	} else {
+		for !drained && tb.K.Pending() > 0 && tb.K.Now() < horizon {
+			tb.K.RunUntil(tb.K.Now().Add(sim.Minute))
+		}
 	}
 	if !drained {
 		return ElasticityResult{}, fmt.Errorf("elasticity: traffic never drained (deadlock or runaway backlog): %d requests open at %v",

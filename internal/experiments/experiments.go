@@ -47,6 +47,13 @@ type Options struct {
 	// (0 = the calibrated default profile).
 	BootBytes int64
 
+	// Shards > 0 runs the fleet and elasticity cells on the parallel
+	// shard executor (DESIGN.md §13): one domain per node plus a hub,
+	// executed by up to Shards workers. Output is byte-identical at
+	// every Shards value ≥ 1; it differs from the Shards == 0
+	// single-kernel schedule, so compare sharded runs with sharded runs.
+	Shards int
+
 	// observe, when set, receives each fleet-cell testbed's trace
 	// recorder and metrics snapshot as the run finishes. The runner
 	// uses it for the open-span leak check and to surface the trace to

@@ -156,6 +156,7 @@ func FleetRun(opt Options, fleet int, cached bool) (FleetResult, error) {
 	tcfg.Seed = opt.Seed
 	tcfg.ImageBytes = opt.ImageBytes
 	tcfg.EnableTrace = opt.EnableTrace
+	tcfg.Shards = opt.Shards
 	tb := testbed.New(tcfg)
 	if cached {
 		tb.Server.EnableCache(fleetCacheBudget, fleetExtentSectors)
@@ -177,7 +178,9 @@ func FleetRun(opt Options, fleet int, cached bool) (FleetResult, error) {
 		done++
 		if done == fleet {
 			res.Elapsed = tb.K.Now().Sub(0)
-			tb.K.Stop()
+			if !tb.Sharded() {
+				tb.K.Stop() // sharded runs stop at the next window barrier
+			}
 		}
 	}
 	for i := 0; i < fleet; i++ {
@@ -197,8 +200,12 @@ func FleetRun(opt Options, fleet int, cached bool) (FleetResult, error) {
 			finish(nil)
 		})
 	}
-	for done < fleet && tb.K.Pending() > 0 {
-		tb.K.RunUntil(tb.K.Now().Add(sim.Hour))
+	if tb.Sharded() {
+		tb.ShardRun(func() bool { return done >= fleet })
+	} else {
+		for done < fleet && tb.K.Pending() > 0 {
+			tb.K.RunUntil(tb.K.Now().Add(sim.Hour))
+		}
 	}
 	if firstErr != nil {
 		return FleetResult{}, firstErr
@@ -206,8 +213,12 @@ func FleetRun(opt Options, fleet int, cached bool) (FleetResult, error) {
 	if tb.Trace != nil {
 		// Attribution needs closed spans: keep the simulation running
 		// until the background copies finish and every VMM melts away.
-		for !allBareMetal(c) && tb.K.Pending() > 0 {
-			tb.K.RunUntil(tb.K.Now().Add(sim.Hour))
+		if tb.Sharded() {
+			tb.ShardRun(func() bool { return allBareMetal(c) })
+		} else {
+			for !allBareMetal(c) && tb.K.Pending() > 0 {
+				tb.K.RunUntil(tb.K.Now().Add(sim.Hour))
+			}
 		}
 		if !allBareMetal(c) {
 			return FleetResult{}, fmt.Errorf("fleet: traced run never reached bare metal on all instances")
@@ -225,10 +236,10 @@ func FleetRun(opt Options, fleet int, cached bool) (FleetResult, error) {
 	res.Served = tb.Server.BytesServed.Value()
 	res.HitRate = tb.Server.CacheHitRate()
 	res.Evictions = tb.Server.CacheEvictions.Value()
-	res.Trace = tb.Trace
+	res.Trace = tb.TraceMerged()
 	res.Snapshot = tb.Metrics.Snapshot()
 	if opt.observe != nil {
-		opt.observe(tb.Trace, res.Snapshot)
+		opt.observe(res.Trace, res.Snapshot)
 	}
 	return res, nil
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled trims the determinism matrices when the race detector is
+// on (make chaos / make elasticity): the byte-identity contract is
+// already pinned at every shard count by the non-race run, so under
+// race we keep one representative sharded comparison and let the
+// detector hunt for data races in the parallel executor.
+const raceEnabled = true

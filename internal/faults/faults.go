@@ -218,6 +218,16 @@ type Injector struct {
 	links   map[string]*ethernet.Link
 	servers map[string]*vblade.Server
 
+	// kernels maps targets living on another shard domain (DESIGN.md §13)
+	// to their owning kernel: the state mutation is scheduled there, while
+	// bookkeeping (counter, trace event, observer) stays on k. Empty on a
+	// single-threaded testbed.
+	kernels map[string]*sim.Kernel
+	// observer, when set, sees every fired event on k's clock — the
+	// sharded testbed mirrors link carrier state for control-plane probes
+	// through it.
+	observer func(ev Event)
+
 	// Injected counts fault events fired (metric "faults.injected").
 	Injected metrics.Counter
 
@@ -230,8 +240,13 @@ func NewInjector(k *sim.Kernel) *Injector {
 		k:       k,
 		links:   make(map[string]*ethernet.Link),
 		servers: make(map[string]*vblade.Server),
+		kernels: make(map[string]*sim.Kernel),
 	}
 }
+
+// SetObserver installs a hub-side observer called for every fired event
+// (after its bookkeeping) on the injector kernel's clock.
+func (inj *Injector) SetObserver(fn func(ev Event)) { inj.observer = fn }
 
 // Instrument registers the injected-events counter in reg and makes every
 // fired event record a trace event on tr (nil-safe on both).
@@ -243,6 +258,15 @@ func (inj *Injector) Instrument(reg *metrics.Registry, tr *trace.Recorder) {
 // RegisterLink makes a link addressable by name in schedules.
 func (inj *Injector) RegisterLink(name string, l *ethernet.Link) {
 	inj.links[name] = l
+}
+
+// RegisterLinkOn registers a link owned by shard domain k: its state
+// mutations will be scheduled on k instead of the injector kernel.
+func (inj *Injector) RegisterLinkOn(name string, l *ethernet.Link, k *sim.Kernel) {
+	inj.links[name] = l
+	if k != nil && k != inj.k {
+		inj.kernels[name] = k
+	}
 }
 
 // RegisterServer makes a vblade server addressable by name in schedules.
@@ -262,7 +286,21 @@ func (inj *Injector) Apply(s Schedule) error {
 	}
 	for _, ev := range s.Events {
 		ev := ev
-		inj.k.After(ev.At, func() { inj.fire(ev) })
+		tk := inj.kernels[ev.Target]
+		if tk == nil {
+			inj.k.After(ev.At, func() { inj.fire(ev) })
+			continue
+		}
+		// Sharded target: the mutation runs on the owning domain and the
+		// bookkeeping on the injector (hub) domain, both at the scheduled
+		// instant. Apply must happen before the shard set runs — both
+		// kernels still sit at time zero, so scheduling on the foreign
+		// kernel is not yet a cross-domain operation.
+		if tk.Now() != 0 || inj.k.Now() != 0 {
+			return fmt.Errorf("faults: sharded schedules must be applied before the run")
+		}
+		inj.k.After(ev.At, func() { inj.book(ev) })
+		tk.After(ev.At, func() { inj.mutate(ev) })
 	}
 	return nil
 }
@@ -308,6 +346,23 @@ func (inj *Injector) names(links bool) string {
 
 // fire applies one event at its scheduled instant.
 func (inj *Injector) fire(ev Event) {
+	inj.mutate(ev)
+	inj.book(ev)
+}
+
+// book records one fired event: the injected counter, the trace event,
+// and the observer. On a sharded testbed this runs on the hub domain.
+func (inj *Injector) book(ev Event) {
+	inj.Injected.Inc()
+	inj.tr.Emit("faults", "faults", string(ev.Kind),
+		trace.Str("target", ev.Target), trace.Str("event", ev.String()))
+	if inj.observer != nil {
+		inj.observer(ev)
+	}
+}
+
+// mutate applies one event's state change on the target's owning kernel.
+func (inj *Injector) mutate(ev Event) {
 	switch ev.Kind {
 	case LinkDown:
 		inj.links[ev.Target].SetDown(ev.Dir, true)
@@ -331,10 +386,10 @@ func (inj *Injector) fire(ev Event) {
 	case Restart:
 		inj.servers[ev.Target].Restart()
 	case MediaErr:
+		// Server targets always live on the injector kernel (the sharded
+		// testbed keeps storage servers in the hub domain), so its clock is
+		// the firing instant.
 		until := inj.k.Now().Add(ev.For)
 		inj.servers[ev.Target].Target(0, 0).AddMediaError(ev.LBA, ev.Count, until)
 	}
-	inj.Injected.Inc()
-	inj.tr.Emit("faults", "faults", string(ev.Kind),
-		trace.Str("target", ev.Target), trace.Str("event", ev.String()))
 }

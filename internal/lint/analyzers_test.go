@@ -52,6 +52,14 @@ func TestSimDrift(t *testing.T) {
 	linttest.Run(t, "testdata/src/simdrift", simFixturePath, lint.SimDriftAnalyzer)
 }
 
+func TestSimDriftShardExecutor(t *testing.T) {
+	// The parallel shard executor's shape: barrier-synchronized worker
+	// goroutines are legitimate when annotated with a reasoned allow
+	// directive; the same goroutine shape bare, or a channel-racing
+	// mailbox merge, must be flagged.
+	linttest.Run(t, "testdata/src/shardexec", simFixturePath, lint.SimDriftAnalyzer)
+}
+
 func TestSimDriftTenantGenerator(t *testing.T) {
 	// The tenants arrival-generator shape: open-loop traffic loops must
 	// draw gaps from the kernel's clock and seeded source, never the

@@ -28,43 +28,63 @@ func (c *Counter) Value() int64 { return c.n }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n = 0 }
 
+// histChunk is the sample-block size: big enough that per-block overhead
+// vanishes, small enough that an idle histogram wastes little.
+const histChunk = 1 << 15
+
 // Histogram records duration samples and answers mean/percentile queries.
 // Samples are kept exactly; the experiment scales involved (thousands to a
 // few million samples) make this affordable and precise.
+//
+// Storage is chunked: the first block grows geometrically (small
+// histograms stay small), and once it reaches histChunk samples each
+// further block is allocated at full size and never reallocated. The
+// hot observers — the per-exit cpuvirt histogram logs every VM exit of a
+// fleet run — would otherwise spend more time in growslice copies of a
+// multi-megabyte slice than in the simulation around them.
 //
 // Percentile queries sort into a separate cached slice, invalidated by
 // Observe/Reset: samples keep insertion order, and a burst of queries
 // (the fleet tables ask for p50/p99/max per column) sorts once.
 type Histogram struct {
-	samples  []sim.Duration
-	sorted   []sim.Duration // cached sort of samples; valid when sortedOK
+	full     [][]sim.Duration // completed blocks, each len histChunk
+	head     []sim.Duration   // current block, appended in place
+	sorted   []sim.Duration   // cached sort of samples; valid when sortedOK
 	sortedOK bool
 	sum      int64
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(d sim.Duration) {
-	h.samples = append(h.samples, d)
+	if len(h.head) == histChunk {
+		h.full = append(h.full, h.head)
+		h.head = make([]sim.Duration, 0, histChunk)
+	}
+	h.head = append(h.head, d)
 	h.sum += int64(d)
 	h.sortedOK = false
 }
 
 // Count reports the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int { return len(h.full)*histChunk + len(h.head) }
 
 // Mean reports the arithmetic mean of the samples, or 0 with no samples.
 func (h *Histogram) Mean() sim.Duration {
-	if len(h.samples) == 0 {
+	if h.Count() == 0 {
 		return 0
 	}
-	return sim.Duration(h.sum / int64(len(h.samples)))
+	return sim.Duration(h.sum / int64(h.Count()))
 }
 
 // sortedView returns the cached ascending sort of the samples,
 // rebuilding it only when samples changed since the last query.
 func (h *Histogram) sortedView() []sim.Duration {
 	if !h.sortedOK {
-		h.sorted = append(h.sorted[:0], h.samples...)
+		h.sorted = h.sorted[:0]
+		for _, blk := range h.full {
+			h.sorted = append(h.sorted, blk...)
+		}
+		h.sorted = append(h.sorted, h.head...)
 		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
 		h.sortedOK = true
 	}
@@ -74,11 +94,12 @@ func (h *Histogram) sortedView() []sim.Duration {
 // Percentile reports the p-th percentile (0 < p <= 100) using
 // nearest-rank. It returns 0 with no samples.
 func (h *Histogram) Percentile(p float64) sim.Duration {
-	if len(h.samples) == 0 {
+	n := h.Count()
+	if n == 0 {
 		return 0
 	}
 	s := h.sortedView()
-	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	rank := int(math.Ceil(p / 100 * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
@@ -90,14 +111,21 @@ func (h *Histogram) Percentile(p float64) sim.Duration {
 
 // Min reports the smallest sample, or 0 with no samples.
 func (h *Histogram) Min() sim.Duration {
-	if len(h.samples) == 0 {
+	if h.Count() == 0 {
 		return 0
 	}
 	if h.sortedOK {
 		return h.sorted[0]
 	}
-	min := h.samples[0]
-	for _, s := range h.samples[1:] {
+	min := sim.Duration(math.MaxInt64)
+	for _, blk := range h.full {
+		for _, s := range blk {
+			if s < min {
+				min = s
+			}
+		}
+	}
+	for _, s := range h.head {
 		if s < min {
 			min = s
 		}
@@ -110,7 +138,8 @@ func (h *Histogram) Max() sim.Duration { return h.Percentile(100) }
 
 // Reset discards all samples.
 func (h *Histogram) Reset() {
-	h.samples = h.samples[:0]
+	h.full = nil
+	h.head = h.head[:0]
 	h.sum = 0
 	h.sortedOK = false
 }

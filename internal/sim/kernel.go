@@ -75,6 +75,10 @@ type Kernel struct {
 	stopped  bool
 	tracer   func(t Time, format string, args ...any)
 	procHook func(t Time, ev ProcEvent, name string)
+
+	// dom is non-nil when this kernel is one domain of a ShardSet (see
+	// shard.go); it carries the outbox for cross-domain posts.
+	dom *shardDomain
 }
 
 // ProcEvent classifies process lifecycle notifications for SetProcHook.

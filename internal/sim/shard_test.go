@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// shardPingModel builds a small set of domains that exchange posts on a
+// fixed cadence and records a log line per delivery. Each domain appends
+// to its own log — domains share no mutable state within a window, the
+// same contract every real model obeys — and run() concatenates the logs
+// in domain order after quiescence. The merged log is the byte-identity
+// proxy: any ordering or timing difference between runs shows up as a
+// diff. (A single shared log slice would itself be a data race between
+// concurrently executing windows, and its append order would reflect
+// worker scheduling — exactly what the contract excludes from the model.)
+func shardPingModel(workers int, window Duration) (s *ShardSet, run func() []string) {
+	s = NewShardSet(42, workers, window)
+	const n = 5
+	doms := make([]*Kernel, n)
+	for i := 0; i < n; i++ {
+		doms[i] = s.NewDomain(fmt.Sprintf("d%d", i))
+	}
+	logs := make([][]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		k := doms[i]
+		var tick func()
+		count := 0
+		tick = func() {
+			count++
+			logs[i] = append(logs[i], fmt.Sprintf("d%d tick %d at %v rng %d", i, count, k.Now(), k.Rand().Intn(1000)))
+			// Fan a post to every other domain, arriving one window out.
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				j := j
+				from, tc := i, count
+				k.PostDeliver(doms[j], k.Now().Add(2*Microsecond), xfunc(func(any) {
+					logs[j] = append(logs[j], fmt.Sprintf("d%d got d%d/%d at %v", j, from, tc, doms[j].Now()))
+				}), nil)
+			}
+			if count < 8 {
+				k.After(Duration(50+10*i)*Microsecond, tick)
+			}
+		}
+		k.After(Duration(10*(i+1))*Microsecond, tick)
+	}
+	run = func() []string {
+		s.Run(nil)
+		var merged []string
+		for _, l := range logs {
+			merged = append(merged, l...)
+		}
+		return merged
+	}
+	return s, run
+}
+
+// xfunc adapts a func to XHandler for tests.
+type xfunc func(payload any)
+
+func (f xfunc) XDeliver(payload any) { f(payload) }
+
+func TestShardWorkerCountInvariance(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var want []string
+	for _, workers := range []int{1, 2, 4, 8} {
+		// Force real parallel execution even on a single-CPU machine so
+		// the worker pool itself is exercised (and race-checked).
+		runtime.GOMAXPROCS(4)
+		_, run := shardPingModel(workers, 100*Microsecond)
+		log := run()
+		if workers == 1 {
+			want = log
+			continue
+		}
+		if len(log) != len(want) {
+			t.Fatalf("workers=%d: got %d log lines, want %d", workers, len(log), len(want))
+		}
+		for i := range want {
+			if log[i] != want[i] {
+				t.Fatalf("workers=%d: line %d = %q, want %q", workers, i, log[i], want[i])
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("model produced no log lines")
+	}
+}
+
+func TestShardWindowInvariantUnderWorkers(t *testing.T) {
+	// Different window widths are allowed to produce different schedules
+	// (the grid is part of the model); the same width must not.
+	_, run1 := shardPingModel(1, 2*Microsecond)
+	log1 := run1()
+	_, run2 := shardPingModel(3, 2*Microsecond)
+	log2 := run2()
+	if len(log1) != len(log2) {
+		t.Fatalf("log lengths differ: %d vs %d", len(log1), len(log2))
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("line %d differs:\n  %q\n  %q", i, log1[i], log2[i])
+		}
+	}
+}
+
+func TestShardPostClamp(t *testing.T) {
+	s := NewShardSet(1, 1, 100*Microsecond)
+	a := s.NewDomain("a")
+	b := s.NewDomain("b")
+	var got Time
+	a.At(Time(10*Microsecond), func() {
+		// Arrival inside the sending window must defer to the window end.
+		a.Post(b, a.Now().Add(1*Microsecond), func() { got = b.Now() })
+	})
+	s.Run(nil)
+	if got != Time(100*Microsecond) {
+		t.Fatalf("clamped delivery at %v, want %v", got, Time(100*Microsecond))
+	}
+}
+
+func TestShardPostMergeOrder(t *testing.T) {
+	// Same-timestamp posts from different domains must deliver in domain
+	// order regardless of which domain's window ran first.
+	s := NewShardSet(1, 1, 10*Microsecond)
+	a := s.NewDomain("a")
+	b := s.NewDomain("b")
+	c := s.NewDomain("c")
+	var order []string
+	at := Time(50 * Microsecond)
+	b.At(Time(1*Microsecond), func() {
+		b.Post(c, at, func() { order = append(order, "from-b") })
+		b.Post(c, at, func() { order = append(order, "from-b2") })
+	})
+	a.At(Time(2*Microsecond), func() {
+		a.Post(c, at, func() { order = append(order, "from-a") })
+	})
+	s.Run(nil)
+	want := []string{"from-a", "from-b", "from-b2"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+}
+
+func TestShardQuiescenceFastForward(t *testing.T) {
+	// A long idle gap must be skipped, not iterated window by window: the
+	// set jumps to the grid floor of the next event.
+	s := NewShardSet(7, 1, 100*Microsecond)
+	a := s.NewDomain("a")
+	fired := false
+	a.At(Time(10*Second), func() { fired = true })
+	s.Run(nil)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if a.Now() != Time(10*Second) {
+		t.Fatalf("domain clock %v, want %v", a.Now(), Time(10*Second))
+	}
+}
+
+func TestShardRunUntilHorizon(t *testing.T) {
+	s := NewShardSet(7, 1, 100*Microsecond)
+	a := s.NewDomain("a")
+	fired := 0
+	a.At(Time(1*Millisecond), func() { fired++ })
+	a.At(Time(2*Second), func() { fired++ })
+	s.RunUntil(Time(1*Second), nil)
+	if fired != 1 {
+		t.Fatalf("fired %d events before horizon, want 1", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", s.Pending())
+	}
+	s.RunUntil(Time(3*Second), nil)
+	if fired != 2 {
+		t.Fatalf("fired %d events total, want 2", fired)
+	}
+}
+
+func TestShardStopAtBarrier(t *testing.T) {
+	s := NewShardSet(7, 1, 10*Microsecond)
+	a := s.NewDomain("a")
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired == 3 {
+			s.Stop()
+		}
+		a.After(15*Microsecond, tick)
+	}
+	a.After(15*Microsecond, tick)
+	s.Run(nil)
+	if fired != 3 {
+		t.Fatalf("fired %d ticks, want 3 (stop at barrier)", fired)
+	}
+}
+
+func TestShardLocalPostIsImmediate(t *testing.T) {
+	// Posting to the local kernel degrades to At: no window clamp.
+	s := NewShardSet(1, 1, 100*Microsecond)
+	a := s.NewDomain("a")
+	var got Time
+	a.At(Time(10*Microsecond), func() {
+		a.Post(a, a.Now().Add(1*Microsecond), func() { got = a.Now() })
+	})
+	s.Run(nil)
+	if got != Time(11*Microsecond) {
+		t.Fatalf("local post delivered at %v, want %v", got, Time(11*Microsecond))
+	}
+}
+
+func TestShardDomainSeedsIndependent(t *testing.T) {
+	s := NewShardSet(99, 1, 100*Microsecond)
+	a := s.NewDomain("a")
+	b := s.NewDomain("b")
+	if a.Rand().Int63() == b.Rand().Int63() {
+		t.Fatal("domain RNG streams coincide")
+	}
+	// Rebuilding the set reproduces the same streams.
+	s2 := NewShardSet(99, 4, 100*Microsecond)
+	a2 := s2.NewDomain("a")
+	if a2.Rand().Int63() == 0 {
+		t.Fatal("degenerate seed")
+	}
+}
+
+func TestShardProcsInsideDomains(t *testing.T) {
+	// Procs (coroutines) must work inside a domain window, including
+	// sleeps that span windows.
+	s := NewShardSet(5, 1, 50*Microsecond)
+	a := s.NewDomain("a")
+	b := s.NewDomain("b")
+	var log []string
+	a.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(120 * Microsecond)
+			log = append(log, fmt.Sprintf("a wake %d at %v", i, a.Now()))
+			a.Post(b, a.Now().Add(2*Microsecond), func() {
+				log = append(log, fmt.Sprintf("b event at %v", b.Now()))
+			})
+		}
+	})
+	s.Run(nil)
+	if len(log) != 6 {
+		t.Fatalf("got %d log lines, want 6: %v", len(log), log)
+	}
+}
+
+func BenchmarkShardWindow(b *testing.B) {
+	s := NewShardSet(1, 1, 100*Microsecond)
+	doms := make([]*Kernel, 8)
+	for i := range doms {
+		doms[i] = s.NewDomain(fmt.Sprintf("d%d", i))
+	}
+	for i, k := range doms {
+		k := k
+		next := doms[(i+1)%len(doms)]
+		var tick func()
+		tick = func() {
+			k.PostDeliver(next, k.Now().Add(2*Microsecond), xfunc(func(any) {}), nil)
+			k.After(97*Microsecond, tick)
+		}
+		k.After(Duration(i+1)*Microsecond, tick)
+	}
+	b.ResetTimer()
+	horizon := Time(0)
+	for i := 0; i < b.N; i++ {
+		horizon = horizon.Add(Duration(100 * Millisecond))
+		s.RunUntil(horizon, nil)
+	}
+}

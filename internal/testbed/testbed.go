@@ -30,6 +30,12 @@ type Testbed struct {
 	Switch *ethernet.Switch
 	IB     *ib.Fabric
 
+	// Set and Router are non-nil for a sharded testbed (Config.Shards > 0;
+	// DESIGN.md §13): K is then the hub domain's kernel, each node gets its
+	// own domain, and Router replaces Switch as the fabric.
+	Set    *sim.ShardSet
+	Router *ethernet.Router
+
 	Image     *disk.Image
 	Server    *vblade.Server
 	ServerNIC *nic.NIC
@@ -45,10 +51,18 @@ type Testbed struct {
 
 	// Metrics is the cluster-wide instrument registry (always present).
 	// Trace is the structured trace recorder, nil unless Config.EnableTrace.
+	// On a sharded testbed Trace is the hub domain's lane; use TraceMerged
+	// for the whole-cluster view after the run.
 	Metrics *metrics.Registry
 	Trace   *trace.Recorder
 
 	links []*ethernet.Link
+
+	// nodeLanes are the per-node trace lanes of a sharded traced testbed,
+	// in node order; shadow mirrors link carrier state onto the hub domain
+	// for control-plane probes (see NoteFault / LinkDownMirror).
+	nodeLanes []*trace.Recorder
+	shadow    map[string]*shadowLink
 }
 
 // Node is one instance machine with its guest OS.
@@ -78,7 +92,23 @@ type Config struct {
 	Storage       machine.StorageKind
 	DiskSectors   int64 // 0 = full 500 GB testbed disk
 	EnableTrace   bool  // record structured spans/events (see Testbed.Trace)
+
+	// Shards > 0 builds the parallel testbed (DESIGN.md §13): the control
+	// plane and storage servers form the hub domain and every node gets its
+	// own domain, executed by up to Shards workers. Simulation output is
+	// byte-identical at every Shards value ≥ 1 for a given seed.
+	Shards int
+	// ShardWindow overrides the barrier window width (default
+	// DefaultShardWindow). The window is part of the model: changing it may
+	// change boundary-frame timing, so compare runs only at equal windows.
+	ShardWindow sim.Duration
 }
+
+// DefaultShardWindow is the default barrier window of a sharded testbed.
+// It is a multiple of the minimum cross-domain latency (link propagation
+// 2µs + switch latency 5µs), trading exactness of boundary arrival times
+// (quantized up to the window edge) for barrier frequency.
+const DefaultShardWindow = 100 * sim.Microsecond
 
 // DefaultConfig returns the paper's setup: a 32 GB image behind a
 // thread-pooled vblade on gigabit Ethernet with jumbo frames.
@@ -92,30 +122,68 @@ func DefaultConfig() Config {
 	}
 }
 
+// switchLatency is the store-and-forward latency of the testbed fabric.
+const switchLatency = 5 * sim.Microsecond
+
 // New builds a testbed with a storage server and no nodes yet.
 func New(cfg Config) *Testbed {
-	k := sim.New(cfg.Seed)
 	tb := &Testbed{
-		K:       k,
-		Switch:  ethernet.NewSwitch(k, "sw0", 5*sim.Microsecond),
-		IB:      ib.QDR4X(k),
 		Image:   disk.NewSynthImage("ubuntu-14.04", cfg.ImageBytes, cfg.ImageSeed),
 		Metrics: metrics.NewRegistry(),
 	}
+	var k *sim.Kernel
+	if cfg.Shards > 0 {
+		w := cfg.ShardWindow
+		if w <= 0 {
+			w = DefaultShardWindow
+		}
+		tb.Set = sim.NewShardSet(cfg.Seed, cfg.Shards, w)
+		k = tb.Set.NewDomain("hub")
+		tb.Router = ethernet.NewRouter("sw0", switchLatency)
+		tb.shadow = make(map[string]*shadowLink)
+	} else {
+		k = sim.New(cfg.Seed)
+		tb.Switch = ethernet.NewSwitch(k, "sw0", switchLatency)
+		// The IB fabric is only assembled single-threaded; the BMcast
+		// deployment path never touches it.
+		tb.IB = ib.QDR4X(k)
+	}
+	tb.K = k
 	if cfg.EnableTrace {
 		tb.Trace = trace.NewRecorder(k)
 	}
-	link := tb.Switch.Connect(ethernet.GigabitJumbo())
-	tb.links = append(tb.links, link)
-	link.Instrument(tb.Metrics, "server")
+	link := tb.connect(k, "server", ServerMAC)
 	tb.ServerLink = link
 	tb.ServerNIC = nic.New(k, "server.eth0", nic.IntelX540, ServerMAC, link)
 	tb.Server = vblade.NewServer(k, tb.ServerNIC, cfg.ServerThreads)
+	if tb.Sharded() {
+		tb.Server.ShareFramePool()
+	}
 	tb.Server.Instrument(tb.Metrics, tb.Trace, "server")
 	tb.Server.AddTarget(0, 0, tb.Image)
 	tb.Server.Start()
 	return tb
 }
+
+// connect attaches a station on kernel k to the fabric (switch or router)
+// and instruments the new link under name. The station's MACs are needed
+// by the router's static forwarding table; the learning switch ignores
+// them.
+func (tb *Testbed) connect(k *sim.Kernel, name string, macs ...ethernet.MAC) *ethernet.Link {
+	var l *ethernet.Link
+	if tb.Sharded() {
+		l = tb.Router.Connect(k, ethernet.GigabitJumbo(), macs...)
+	} else {
+		l = tb.Switch.Connect(ethernet.GigabitJumbo())
+	}
+	tb.links = append(tb.links, l)
+	l.Instrument(tb.Metrics, name)
+	return l
+}
+
+// Sharded reports whether this testbed runs on the parallel shard
+// executor.
+func (tb *Testbed) Sharded() bool { return tb.Set != nil }
 
 // Secondary is one additional storage server for failover experiments.
 type Secondary struct {
@@ -132,11 +200,13 @@ func (tb *Testbed) AddSecondaryServer(cfg Config) *Secondary {
 	idx := len(tb.Secondaries)
 	mac := ServerMAC + 1 + ethernet.MAC(idx)
 	name := fmt.Sprintf("server%d", idx+2)
-	link := tb.Switch.Connect(ethernet.GigabitJumbo())
-	tb.links = append(tb.links, link)
-	link.Instrument(tb.Metrics, name)
+	// Secondaries live in the hub domain alongside the primary.
+	link := tb.connect(tb.K, name, mac)
 	n := nic.New(tb.K, name+".eth0", nic.IntelX540, mac, link)
 	s := vblade.NewServer(tb.K, n, cfg.ServerThreads)
+	if tb.Sharded() {
+		s.ShareFramePool()
+	}
 	s.Instrument(tb.Metrics, tb.Trace, name)
 	s.AddTarget(0, 0, tb.Image)
 	s.Start()
@@ -154,18 +224,31 @@ func (tb *Testbed) AddNode(cfg Config) *Node {
 	if cfg.DiskSectors > 0 {
 		mcfg.Disk.Sectors = cfg.DiskSectors
 	}
-	m := machine.New(tb.K, mcfg)
-	m.Trace = tb.Trace
+	nk := tb.K
+	lane := tb.Trace
+	if tb.Sharded() {
+		// Each node is its own shard domain with its own trace lane; the
+		// lane's span-ID base is derived from the fixed node index so IDs
+		// stay globally unique without cross-domain coordination.
+		nk = tb.Set.NewDomain(mcfg.Name)
+		if tb.Trace != nil {
+			lane = trace.NewRecorder(nk)
+			lane.SetIDBase(int64(idx+1) << 40)
+		}
+		tb.nodeLanes = append(tb.nodeLanes, lane)
+	}
+	m := machine.New(nk, mcfg)
+	m.Trace = lane
 	m.Metrics = tb.Metrics
+	m.SharedPools = tb.Sharded()
 	base := ethernet.MAC(0x0200_0000_0000) + ethernet.MAC(idx)*0x10
-	l0 := tb.Switch.Connect(ethernet.GigabitJumbo())
-	l1 := tb.Switch.Connect(ethernet.GigabitJumbo())
-	tb.links = append(tb.links, l0, l1)
-	l0.Instrument(tb.Metrics, m.Name+".guest")
-	l1.Instrument(tb.Metrics, m.Name+".vmm")
+	l0 := tb.connect(nk, m.Name+".guest", base)
+	l1 := tb.connect(nk, m.Name+".vmm", base+1)
 	m.AttachNIC(nic.IntelPro1000, base, l0)
 	m.AttachNIC(nic.IntelPro1000, base+1, l1)
-	m.AttachIB(tb.IB)
+	if !tb.Sharded() {
+		m.AttachIB(tb.IB)
+	}
 	n := &Node{M: m, OS: guest.NewOS("ubuntu", m), GuestLink: l0, VMMLink: l1}
 	tb.Nodes = append(tb.Nodes, n)
 	return n
@@ -187,8 +270,19 @@ func (tb *Testbed) NewFaultInjector() *faults.Injector {
 		inj.RegisterServer(name, sec.Server)
 	}
 	for i, n := range tb.Nodes {
-		inj.RegisterLink(fmt.Sprintf("node%d.guest", i), n.GuestLink)
-		inj.RegisterLink(fmt.Sprintf("node%d.vmm", i), n.VMMLink)
+		if tb.Sharded() {
+			// Node links live on the node's domain: mutations must be
+			// scheduled there, and the hub keeps a carrier-state mirror for
+			// control-plane probes.
+			inj.RegisterLinkOn(fmt.Sprintf("node%d.guest", i), n.GuestLink, n.M.K)
+			inj.RegisterLinkOn(fmt.Sprintf("node%d.vmm", i), n.VMMLink, n.M.K)
+		} else {
+			inj.RegisterLink(fmt.Sprintf("node%d.guest", i), n.GuestLink)
+			inj.RegisterLink(fmt.Sprintf("node%d.vmm", i), n.VMMLink)
+		}
+	}
+	if tb.Sharded() {
+		inj.SetObserver(tb.noteFault)
 	}
 	return inj
 }
